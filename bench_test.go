@@ -1,0 +1,100 @@
+// Benchmarks: one per experiment in the reproduction index (DESIGN.md §4),
+// each running the corresponding experiment in its quick configuration,
+// plus micro-benchmarks of the two execution paths. Regenerate the full
+// tables with `go run ./cmd/experiments`.
+package nearclique_test
+
+import (
+	"testing"
+
+	"nearclique"
+	"nearclique/internal/expt"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exps, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := expt.Config{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := exps[0].Run(cfg)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkE1_Theorem57(b *testing.B)              { benchExperiment(b, "E1") }
+func BenchmarkE2_ConstantRounds(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3_SublinearClique(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4_ShinglesCounterexample(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5_MessageSize(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6_Boosting(b *testing.B)               { benchExperiment(b, "E6") }
+func BenchmarkE7_RoundComplexity(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8_CandidateDensity(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9_Impossibility(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10_TolerantTesting(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11_Synchronizer(b *testing.B)          { benchExperiment(b, "E11") }
+func BenchmarkE12_ComplementMIS(b *testing.B)         { benchExperiment(b, "E12") }
+
+// Micro-benchmarks of the two execution paths on one planted instance.
+
+func BenchmarkFindDistributed(b *testing.B) {
+	inst := nearclique.GenPlantedNearClique(300, 100, 0.01, 0.03, 1)
+	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.Find(inst.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindSequential(b *testing.B) {
+	inst := nearclique.GenPlantedNearClique(300, 100, 0.01, 0.03, 1)
+	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.FindSequential(inst.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindSequentialLarge(b *testing.B) {
+	inst := nearclique.GenPlantedNearClique(2000, 600, 0.01, 0.01, 1)
+	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 7, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.FindSequential(inst.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShinglesBaseline(b *testing.B) {
+	inst := nearclique.GenPlantedClique(300, 100, 0.03, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.Shingles(inst.Graph, nearclique.ShinglesOptions{
+			Epsilon: 0.25, MinSize: 2, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighborsNeighborsBaseline(b *testing.B) {
+	inst := nearclique.GenPlantedClique(150, 50, 0.03, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.NeighborsNeighbors(inst.Graph, nearclique.NNOptions{
+			Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

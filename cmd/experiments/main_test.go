@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-run", "E5", "-seed", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "### E5") {
+		t.Fatalf("missing E5 table:\n%s", out.String())
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-run", "E9", "-o", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "### E9") {
+		t.Fatal("report file missing table")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "E42"}, &out, &errOut); code != 2 {
+		t.Fatal("unknown experiment accepted")
+	}
+}

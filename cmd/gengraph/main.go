@@ -1,0 +1,78 @@
+// Command gengraph generates the synthetic graph families used throughout
+// the paper's reproduction and writes them as edge lists to stdout.
+//
+// Usage:
+//
+//	gengraph -family planted -n 500 -size 150 -epsin 0.01 -pout 0.05 > g.edges
+//	gengraph -family shingles -n 240 -delta 0.5 > counterexample.edges
+//	gengraph -family er -n 1000 -p 0.05 > random.edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nearclique"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family = fs.String("family", "er",
+			"er | planted | clique | shingles | twocliques | geometric | web")
+		n      = fs.Int("n", 100, "node count")
+		p      = fs.Float64("p", 0.1, "edge probability (er) / background (planted)")
+		size   = fs.Int("size", 30, "planted set size (planted, clique)")
+		epsIn  = fs.Float64("epsin", 0, "planted near-clique parameter (planted)")
+		delta  = fs.Float64("delta", 0.5, "clique fraction (shingles)")
+		radius = fs.Float64("radius", 0.15, "connection radius (geometric)")
+		m      = fs.Int("m", 3, "attachment edges per node (web)")
+		withA  = fs.Bool("witha", true, "keep A's edges (twocliques)")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var g *nearclique.Graph
+	switch *family {
+	case "er":
+		g = nearclique.GenErdosRenyi(*n, *p, *seed)
+	case "planted":
+		inst := nearclique.GenPlantedNearClique(*n, *size, *epsIn, *p, *seed)
+		fmt.Fprintf(stderr, "# planted set (ε=%.4f): %v\n", inst.EpsActual, inst.D)
+		g = inst.Graph
+	case "clique":
+		inst := nearclique.GenPlantedClique(*n, *size, *p, *seed)
+		fmt.Fprintf(stderr, "# planted clique: %v\n", inst.D)
+		g = inst.Graph
+	case "shingles":
+		inst := nearclique.GenShinglesCounterexample(*n, *delta)
+		fmt.Fprintf(stderr, "# blocks: |C1|=|C2|=%d |I1|=%d |I2|=%d (δ=%.3f)\n",
+			len(inst.C1), len(inst.I1), len(inst.I2), inst.Delta)
+		g = inst.Graph
+	case "twocliques":
+		inst := nearclique.GenTwoCliquesPath(*n, *withA)
+		fmt.Fprintf(stderr, "# |A|=%d |B|=%d |P|=%d\n", len(inst.A), len(inst.B), len(inst.P))
+		g = inst.Graph
+	case "geometric":
+		g, _ = nearclique.GenRandomGeometric(*n, *radius, *seed)
+	case "web":
+		g = nearclique.GenPreferentialAttachment(*n, *m, *seed)
+	default:
+		fmt.Fprintf(stderr, "gengraph: unknown family %q\n", *family)
+		return 2
+	}
+	if err := nearclique.WriteGraph(stdout, g); err != nil {
+		fmt.Fprintln(stderr, "gengraph:", err)
+		return 1
+	}
+	return 0
+}

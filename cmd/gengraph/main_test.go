@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nearclique"
+)
+
+func TestGenerateFamilies(t *testing.T) {
+	families := [][]string{
+		{"-family", "er", "-n", "50", "-p", "0.2"},
+		{"-family", "planted", "-n", "60", "-size", "20", "-epsin", "0.05"},
+		{"-family", "clique", "-n", "60", "-size", "15"},
+		{"-family", "shingles", "-n", "80", "-delta", "0.5"},
+		{"-family", "twocliques", "-n", "40"},
+		{"-family", "geometric", "-n", "50", "-radius", "0.3"},
+		{"-family", "web", "-n", "80", "-m", "2"},
+	}
+	for _, args := range families {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d: %s", args, code, errOut.String())
+		}
+		g, err := nearclique.ReadGraph(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%v: unparseable output: %v", args, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%v: empty graph", args)
+		}
+	}
+}
+
+func TestGenerateUnknownFamily(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-family", "nope"}, &out, &errOut); code != 2 {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() string {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-family", "er", "-n", "40", "-p", "0.3", "-seed", "5"}, &out, &errOut); code != 0 {
+			t.Fatal("generation failed")
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

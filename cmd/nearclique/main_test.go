@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nearclique"
+)
+
+func edgeList(t *testing.T) string {
+	t.Helper()
+	inst := nearclique.GenPlantedClique(100, 35, 0.03, 9)
+	var buf bytes.Buffer
+	if err := nearclique.WriteGraph(&buf, inst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRunSequential(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-eps", "0.25", "-s", "7", "-seed", "3", "-boost", "3"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "near-clique(s)") {
+		t.Fatalf("missing summary: %s", out.String())
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mode", "dist", "-eps", "0.25", "-s", "5", "-q"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rounds=") {
+		t.Fatalf("distributed mode missing metrics: %s", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader("not an edge list"), &out, &errOut); code == 0 {
+		t.Fatal("bad input accepted")
+	}
+	if code := run([]string{"-mode", "nope"}, strings.NewReader("0 1\n"), &out, &errOut); code != 2 {
+		t.Fatal("bad mode accepted")
+	}
+	if code := run([]string{"-eps", "0.9"}, strings.NewReader("0 1\n"), &out, &errOut); code == 0 {
+		t.Fatal("bad epsilon accepted")
+	}
+	if code := run([]string{"nonexistent-file.edges"}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunDistributedAsync(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mode", "dist", "-async", "-eps", "0.25", "-s", "5", "-q"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "safes=") {
+		t.Fatalf("async mode missing synchronizer metrics: %s", out.String())
+	}
+}

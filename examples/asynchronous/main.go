@@ -1,0 +1,64 @@
+// Asynchronous execution: Section 2 of the paper notes that "any
+// synchronous algorithm can be executed in an asynchronous environment
+// using a synchronizer [3]". This example runs the identical protocol on
+// the event-driven asynchronous executor — random per-message delays plus
+// Awerbuch's α-synchronizer — and shows that the outputs are bit-for-bit
+// the same while the metrics expose the synchronizer's price: one ack per
+// protocol message and Θ(|E|) safe-signals per round.
+//
+//	go run ./examples/asynchronous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nearclique"
+)
+
+func main() {
+	const (
+		n    = 300
+		eps  = 0.25
+		seed = 41
+	)
+	inst := nearclique.GenPlantedNearClique(n, n/3, eps*eps*eps, 0.04, seed)
+	base := nearclique.Options{Epsilon: eps, ExpectedSample: 6, Seed: seed, Versions: 2}
+
+	syncRes, err := nearclique.Find(inst.Graph, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	asyncOpts := base
+	asyncOpts.Async = true
+	asyncOpts.AsyncMaxDelay = 7 // messages take 1..7 virtual time units
+	asyncRes, err := nearclique.Find(inst.Graph, asyncOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	same := true
+	for i := range syncRes.Labels {
+		if syncRes.Labels[i] != asyncRes.Labels[i] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("outputs identical under asynchrony: %v\n\n", same)
+
+	sm, am := syncRes.Metrics, asyncRes.Metrics
+	fmt.Printf("%-28s %12s %12s\n", "", "synchronous", "asynchronous")
+	fmt.Printf("%-28s %12d %12d\n", "rounds (max node-round)", sm.Rounds, am.Rounds)
+	fmt.Printf("%-28s %12d %12d\n", "protocol frames", sm.Frames, am.Frames)
+	fmt.Printf("%-28s %12d %12d\n", "synchronizer acks", sm.AsyncAcks, am.AsyncAcks)
+	fmt.Printf("%-28s %12d %12d\n", "synchronizer safe-signals", sm.AsyncSafes, am.AsyncSafes)
+	fmt.Printf("%-28s %12s %12d\n", "virtual completion time", "-", am.AsyncVirtualTime)
+
+	overhead := float64(am.Frames+am.AsyncAcks+am.AsyncSafes) / float64(am.Frames)
+	fmt.Printf("\nα-synchronizer message overhead: %.1f× the protocol's own traffic\n", overhead)
+	if best := asyncRes.Best(); best != nil {
+		fmt.Printf("found: %d nodes at density %.3f (same set as the synchronous run)\n",
+			len(best.Members), best.Density)
+	}
+}

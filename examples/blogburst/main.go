@@ -1,0 +1,56 @@
+// Bursty blogspace: the paper cites Kumar et al.'s observation that blog
+// evolution is punctuated by "significant events" visible as dense
+// subgraphs appearing in the time-sliced link graph. This example builds a
+// sequence of snapshots in which a community densifies over time and shows
+// DistNearClique detecting the burst as soon as the community crosses the
+// ε³-near-clique threshold.
+//
+//	go run ./examples/blogburst
+package main
+
+import (
+	"fmt"
+
+	"nearclique"
+)
+
+func main() {
+	const (
+		blogs    = 500
+		commSize = 90
+		eps      = 0.35
+		seed     = 31
+	)
+	// The community's internal missing-pair fraction over 6 weekly
+	// snapshots: from loose chatter to a tight event community.
+	missing := []float64{0.9, 0.6, 0.3, 0.1, 0.04, 0.01}
+
+	base := nearclique.GenErdosRenyi(blogs, 0.02, seed)
+	fmt.Printf("blog graph: %d blogs, background density 0.02; community of %d blogs densifying weekly\n\n",
+		blogs, commSize)
+	fmt.Printf("%-6s %-22s %-14s %-20s\n", "week", "community missing-pairs", "burst found?", "largest near-clique")
+
+	for week, miss := range missing {
+		g, community := nearclique.EmbedCommunity(base, commSize, miss, seed+int64(week))
+		_ = community
+		res, err := nearclique.FindSequential(g, nearclique.Options{
+			Epsilon:        eps,
+			ExpectedSample: 7,
+			Seed:           seed + int64(week)*100,
+			Versions:       4,
+			MinSize:        25,
+		})
+		status := "quiet"
+		detail := "-"
+		if err == nil {
+			if best := res.Best(); best != nil {
+				status = "BURST"
+				detail = fmt.Sprintf("%d blogs @ density %.3f", len(best.Members), best.Density)
+			}
+		}
+		fmt.Printf("%-6d %-22.2f %-14s %-20s\n", week+1, miss, status, detail)
+	}
+	fmt.Printf("\nthe detection threshold is ε³ = %.3f missing pairs (Theorem 5.7 with ε = %.2f):\n",
+		eps*eps*eps, eps)
+	fmt.Println("the burst becomes detectable once the community is an ε³-near clique.")
+}

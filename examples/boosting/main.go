@@ -1,0 +1,69 @@
+// Boosting and the deterministic time bound: the two wrappers of Section
+// 4.1. A deliberately undersized sample gives each run only a modest
+// success probability; running λ sampling+exploration versions with a
+// single decision stage drives the failure rate down as (1−r)^λ, at a ~λ×
+// round cost. A MaxRounds bound aborts runaway executions deterministically.
+//
+//	go run ./examples/boosting
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"nearclique"
+)
+
+func main() {
+	const (
+		n    = 350
+		eps  = 0.25
+		seed = 17
+	)
+	dSize := n * 35 / 100 // δn with δ = 0.35
+	inst := nearclique.GenPlantedClique(n, dSize, 0.02, seed)
+	fmt.Printf("planted clique: %d of %d nodes; deliberately small sample s=4\n\n", dSize, n)
+
+	fmt.Printf("%-4s %-10s %-12s %-10s\n", "λ", "success", "rounds", "best size")
+	for _, lambda := range []int{1, 2, 4, 8} {
+		wins, rounds, bestSize := 0, 0, 0
+		const trials = 5
+		for t := 0; t < trials; t++ {
+			res, err := nearclique.Find(inst.Graph, nearclique.Options{
+				Epsilon:        eps,
+				ExpectedSample: 4,
+				Seed:           seed + int64(t)*1000,
+				Versions:       lambda,
+			})
+			if err != nil {
+				continue
+			}
+			rounds += res.Metrics.Rounds
+			if best := res.Best(); best != nil && len(best.Members) >= dSize/2 {
+				wins++
+				if len(best.Members) > bestSize {
+					bestSize = len(best.Members)
+				}
+			}
+		}
+		fmt.Printf("%-4d %-10s %-12d %-10d\n",
+			lambda, fmt.Sprintf("%d/%d", wins, trials), rounds/trials, bestSize)
+	}
+
+	// The deterministic running-time wrapper: bound the rounds and abort.
+	fmt.Println("\ndeterministic time bound (Section 4.1):")
+	_, err := nearclique.Find(inst.Graph, nearclique.Options{
+		Epsilon:        eps,
+		ExpectedSample: 8,
+		Seed:           seed,
+		MaxRounds:      10, // far too few — the run aborts with all-⊥ outputs
+	})
+	if errors.Is(err, nearclique.ErrRoundLimit) {
+		fmt.Println("  MaxRounds=10 exceeded as expected:", err)
+	} else if err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Println("  unexpectedly finished within 10 rounds")
+	}
+}

@@ -1,0 +1,71 @@
+// Web-community detection: the paper's introduction motivates near-clique
+// discovery with "tightly knit communities" that distort link-based
+// ranking (PageRank/SALSA). This example embeds such a community in a
+// preferential-attachment web graph, finds it with DistNearClique, and
+// compares against the centralized densest-subgraph greedy peel.
+//
+//	go run ./examples/webcommunity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nearclique"
+)
+
+func main() {
+	const (
+		n         = 800
+		commSize  = 120
+		commEps   = 0.05 // the community is a 0.05-near clique
+		eps       = 0.4  // detection parameter: 0.05 ≤ ε³ needs ε ≥ 0.37
+		seed      = 11
+		minReport = 20
+	)
+	web := nearclique.GenPreferentialAttachment(n, 3, seed)
+	g, community := nearclique.EmbedCommunity(web, commSize, commEps, seed+1)
+	fmt.Printf("web graph: %d nodes, %d edges; embedded a %.2f-near clique community of %d pages\n",
+		g.N(), g.M(), commEps, len(community))
+
+	res, err := nearclique.FindSequential(g, nearclique.Options{
+		Epsilon:        eps,
+		ExpectedSample: 7,
+		Seed:           seed,
+		Versions:       4, // boost: web graphs are noisy
+		MinSize:        minReport,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inComm := map[int]bool{}
+	for _, v := range community {
+		inComm[v] = true
+	}
+	fmt.Printf("\nDistNearClique reported %d communit(ies):\n", len(res.Candidates))
+	for i, c := range res.Candidates {
+		hit := 0
+		for _, v := range c.Members {
+			if inComm[v] {
+				hit++
+			}
+		}
+		fmt.Printf("  #%d: %d pages, density %.3f, %d/%d from the planted community\n",
+			i+1, len(c.Members), c.Density, hit, len(c.Members))
+	}
+
+	// Centralized comparison: Charikar's greedy peel maximizes average
+	// degree |E(U)|/|U| — it tends to return a larger, sparser set.
+	peel, avgDeg := nearclique.GreedyPeel(g)
+	hit := 0
+	for _, v := range peel {
+		if inComm[v] {
+			hit++
+		}
+	}
+	fmt.Printf("\ngreedy peel (centralized, avg-degree objective): %d pages, avg degree %.2f, near-clique density %.3f, %d from community\n",
+		len(peel), avgDeg, nearclique.Density(g, peel), hit)
+	fmt.Println("\nnote: peel optimizes a different objective — it finds the densest core by average degree,")
+	fmt.Println("while DistNearClique targets Definition-1 density (fraction of present pairs).")
+}

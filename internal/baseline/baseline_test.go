@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"testing"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+func TestShinglesOnDisjointCliques(t *testing.T) {
+	// Two disjoint K10s: every candidate set is inside one clique, so both
+	// cliques should be found (density 1) for some seed.
+	b := graph.NewBuilder(20)
+	for base := 0; base < 20; base += 10 {
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	g := b.Build()
+	res, err := Shingles(g, ShinglesOptions{Epsilon: 0.1, MinSize: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 2 {
+		t.Fatalf("got %d candidate sets, want 2: %+v", len(res.Sets), res.Sets)
+	}
+	for _, s := range res.Sets {
+		if !s.Survived {
+			t.Fatalf("set %+v should survive", s)
+		}
+		if len(s.Members) != 10 || s.Density != 1 {
+			t.Fatalf("set %+v: want 10 members at density 1", s)
+		}
+	}
+	// All labels assigned.
+	for i, l := range res.Labels {
+		if l < 0 {
+			t.Fatalf("node %d unlabeled", i)
+		}
+	}
+}
+
+func TestShinglesCandidateSetsPartition(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.2, 5)
+	res, err := Shingles(g, ShinglesOptions{Epsilon: 0.3, MinSize: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.N())
+	total := 0
+	for _, s := range res.Sets {
+		for _, m := range s.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two candidate sets", m)
+			}
+			seen[m] = true
+			total++
+		}
+	}
+	if total != g.N() {
+		t.Fatalf("candidate sets cover %d of %d nodes", total, g.N())
+	}
+}
+
+func TestShinglesDensityReported(t *testing.T) {
+	g := gen.Complete(12)
+	res, err := Shingles(g, ShinglesOptions{Epsilon: 0.2, MinSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One clique ⇒ one candidate set with density 1 covering everything.
+	if len(res.Sets) != 1 || res.Sets[0].Density != 1 || len(res.Sets[0].Members) != 12 {
+		t.Fatalf("sets = %+v", res.Sets)
+	}
+}
+
+// TestShinglesFailsOnCounterexample reproduces Claim 1: on the Figure-1
+// family, the shingles algorithm cannot output an ε-near clique of size
+// ≥ (1−ε)δn — in case 1 the candidate is diluted to density ≈ 2δ/(1+δ),
+// in case 2 it is too small.
+func TestShinglesFailsOnCounterexample(t *testing.T) {
+	delta := 0.5
+	inst := gen.ShinglesCounterexample(240, delta)
+	g := inst.Graph
+	eps := 0.1 // < min{(1−δ)/(1+δ), 1/9}
+	wantSize := int((1 - eps) * delta * float64(g.N()))
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Shingles(g, ShinglesOptions{Epsilon: eps, MinSize: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Sets {
+			if !s.Survived {
+				continue
+			}
+			if len(s.Members) >= wantSize && s.Density >= 1-eps {
+				t.Fatalf("seed %d: shingles found a large dense set (%d members, density %v), contradicting Claim 1",
+					seed, len(s.Members), s.Density)
+			}
+		}
+	}
+}
+
+func TestShinglesMessagesSmall(t *testing.T) {
+	g := gen.ErdosRenyi(200, 0.1, 9)
+	res, err := Shingles(g, ShinglesOptions{Epsilon: 0.3, MinSize: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxFrameBits > congest.DefaultFrameBits(g.N()) {
+		t.Fatalf("shingles frame of %d bits exceeds CONGEST budget %d",
+			res.Metrics.MaxFrameBits, congest.DefaultFrameBits(g.N()))
+	}
+	// Constant rounds: 4 phases, each one round... except report routing;
+	// all ≤ a small constant.
+	if res.Metrics.Rounds > 8 {
+		t.Fatalf("shingles took %d rounds; expected O(1)", res.Metrics.Rounds)
+	}
+}
+
+func TestNNFindsPlantedCliqueExactly(t *testing.T) {
+	p := gen.PlantedClique(40, 12, 0.05, 11)
+	res, err := NeighborsNeighbors(p.Graph, NNOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) == 0 {
+		t.Fatal("no cliques survived")
+	}
+	best := res.Cliques[0]
+	if len(best.Members) < 12 {
+		t.Fatalf("largest surviving clique %v smaller than planted", best.Members)
+	}
+	set := bitset.FromIndices(p.Graph.N(), best.Members)
+	if !p.Graph.IsClique(set) {
+		t.Fatalf("surviving set %v is not a clique", best.Members)
+	}
+}
+
+func TestNNSurvivorsAreCliques(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.ErdosRenyi(35, 0.25, seed)
+		res, err := NeighborsNeighbors(g, NNOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Cliques {
+			if !g.IsClique(bitset.FromIndices(g.N(), c.Members)) {
+				t.Fatalf("seed %d: survivor %v not a clique", seed, c.Members)
+			}
+			if int64(c.Members[0]) != c.Label {
+				t.Fatalf("label %d ≠ min member of %v", c.Label, c.Members)
+			}
+		}
+	}
+}
+
+func TestNNSurvivorsDisjoint(t *testing.T) {
+	g := gen.ErdosRenyi(30, 0.4, 13)
+	res, err := NeighborsNeighbors(g, NNOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Cliques {
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two surviving cliques", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestNNViolatesCongestBudget confirms the paper's first show-stopper:
+// neighbor-list messages are ω(log n) bits.
+func TestNNViolatesCongestBudget(t *testing.T) {
+	g := gen.PlantedClique(120, 40, 0.1, 17).Graph
+	res, err := NeighborsNeighbors(g, NNOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := congest.DefaultFrameBits(g.N())
+	if res.Metrics.MaxFrameBits <= budget {
+		t.Fatalf("NN max frame %d bits unexpectedly within CONGEST budget %d",
+			res.Metrics.MaxFrameBits, budget)
+	}
+	if res.LocalCliqueCalls != g.N() {
+		t.Fatalf("expected one max-clique call per node, got %d", res.LocalCliqueCalls)
+	}
+}
+
+func TestNNConstantRounds(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.1, 3)
+	res, err := NeighborsNeighbors(g, NNOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds > 4 {
+		t.Fatalf("NN took %d rounds; expected ≤ 4 (LOCAL model)", res.Metrics.Rounds)
+	}
+}
+
+func TestShinglesDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(50, 0.2, 21)
+	a, err := Shingles(g, ShinglesOptions{Epsilon: 0.3, MinSize: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shingles(g, ShinglesOptions{Epsilon: 0.3, MinSize: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels differ at %d across identical runs", i)
+		}
+	}
+}
+
+func TestShinglesEmptyGraph(t *testing.T) {
+	res, err := Shingles(gen.Empty(10), ShinglesOptions{Epsilon: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node is its own candidate set of size 1 < MinSize ⇒ all ⊥.
+	for i, l := range res.Labels {
+		if l >= 0 {
+			t.Fatalf("node %d labeled on an empty graph", i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package baseline
+
+import (
+	"sort"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+	"nearclique/internal/graph"
+)
+
+// bitsFor returns the bits needed to address x distinct values (≥ 1).
+func bitsFor(x int) int {
+	b := 1
+	for 1<<uint(b) < x {
+		b++
+	}
+	return b
+}
+
+// NNOptions configures the neighbors' neighbors baseline.
+type NNOptions struct {
+	Seed        int64
+	Parallelism int
+}
+
+// NNClique is a surviving clique of the neighbors' neighbors algorithm.
+type NNClique struct {
+	// Label is the smallest member index.
+	Label int64
+	// Members are the clique's nodes, sorted.
+	Members []int
+}
+
+// NNResult is the output of the neighbors' neighbors baseline.
+type NNResult struct {
+	// Labels holds each node's output: the smallest index of its surviving
+	// clique, or −1 (⊥).
+	Labels []int64
+	// Cliques are the surviving cliques, largest first.
+	Cliques []NNClique
+	// Metrics holds simulator costs. The interesting figure is
+	// MaxFrameBits: this algorithm ships whole neighbor lists, violating
+	// the CONGEST O(log n) bound by a Θ(n/log n) factor (the paper's first
+	// show-stopper). LocalCliqueCalls counts the worst-case-exponential
+	// max-clique computations (the second show-stopper).
+	Metrics          congest.Metrics
+	LocalCliqueCalls int
+}
+
+// msgNbrList carries a full neighbor list: Θ(deg · log n) bits.
+type msgNbrList struct {
+	w   int
+	ids []int32
+}
+
+func (m msgNbrList) BitLen() int { return m.w }
+
+// msgCliqueSet carries a clique proposal or choice.
+type msgCliqueSet struct {
+	w       int
+	members []int32
+	choice  bool // false: proposal (phase 2); true: final choice (phase 3)
+}
+
+func (m msgCliqueSet) BitLen() int { return m.w }
+
+type nnNode struct {
+	phase  *int
+	idBits int
+
+	nbrLists map[int32][]int32 // neighbor -> its neighbor list
+	props    [][]int32         // neighbors' clique proposals
+	own      []int32           // my best clique (sorted)
+	choice   []int32           // the clique I voted for
+	choices  map[int32][]int32 // neighbor -> its choice
+	out      int64
+
+	cliqueCalls int
+}
+
+var _ congest.Proc = (*nnNode)(nil)
+
+const (
+	nnPhaseLists = iota
+	nnPhasePropose
+	nnPhaseChoose
+	nnPhaseConfirm
+)
+
+func (nd *nnNode) PhaseStart(ctx *congest.Context) {
+	switch *nd.phase {
+	case nnPhaseLists:
+		nd.nbrLists = make(map[int32][]int32, ctx.Degree())
+		nd.choices = make(map[int32][]int32, ctx.Degree())
+		nd.out = -1
+		nbrs := ctx.Neighbors()
+		ctx.Broadcast(msgNbrList{w: 16 + len(nbrs)*nd.idBits, ids: nbrs})
+	case nnPhasePropose:
+		// Local step: from the received lists the node knows the full
+		// induced subgraph on its closed neighborhood; find the largest
+		// clique containing itself (the paper's "notoriously hard" local
+		// computation) and propose it.
+		nd.own = nd.bestLocalClique(ctx)
+		nd.cliqueCalls++
+		ctx.Broadcast(msgCliqueSet{w: 16 + len(nd.own)*nd.idBits, members: nd.own})
+	case nnPhaseChoose:
+		// Among all proposals containing me (mine and my neighbors'),
+		// choose the best: larger first, then smaller minimum index, then
+		// lexicographic.
+		best := nd.own
+		for _, prop := range nd.proposalsContaining(int32(ctx.Index())) {
+			if cliqueLess(prop, best) {
+				best = prop
+			}
+		}
+		nd.choice = best
+		ctx.Broadcast(msgCliqueSet{w: 16 + len(best)*nd.idBits, members: best, choice: true})
+	case nnPhaseConfirm:
+		// My choice survives iff every member (all of whom are neighbors,
+		// since the choice is a clique containing me) chose it too.
+		ok := true
+		for _, m := range nd.choice {
+			if m == int32(ctx.Index()) {
+				continue
+			}
+			if !equalInt32s(nd.choices[m], nd.choice) {
+				ok = false
+				break
+			}
+		}
+		if ok && len(nd.choice) > 0 {
+			nd.out = int64(nd.choice[0])
+		}
+	}
+}
+
+func (nd *nnNode) proposalsContaining(self int32) [][]int32 {
+	var out [][]int32
+	for _, prop := range nd.props {
+		if containsSorted(prop, self) {
+			out = append(out, prop)
+		}
+	}
+	return out
+}
+
+func (nd *nnNode) Recv(ctx *congest.Context, from congest.NodeID, msg congest.Message) {
+	switch m := msg.(type) {
+	case msgNbrList:
+		nd.nbrLists[int32(from)] = m.ids
+	case msgCliqueSet:
+		if m.choice {
+			nd.choices[int32(from)] = m.members
+		} else {
+			nd.props = append(nd.props, m.members)
+		}
+	}
+}
+
+// bestLocalClique finds the maximum clique of the closed neighborhood that
+// contains this node, deterministically tie-broken.
+func (nd *nnNode) bestLocalClique(ctx *congest.Context) []int32 {
+	self := int32(ctx.Index())
+	nbrs := ctx.Neighbors()
+	local := append([]int32{self}, nbrs...)
+	index := make(map[int32]int, len(local))
+	for i, v := range local {
+		index[v] = i
+	}
+	b := graph.NewBuilder(len(local))
+	for i, v := range local {
+		if v == self {
+			continue
+		}
+		b.AddEdge(0, i) // self is local index 0
+		for _, w := range nd.nbrLists[v] {
+			if j, ok := index[w]; ok && j > i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	lg := b.Build()
+	// Restrict to cliques containing local index 0 by searching the
+	// subgraph induced on Γ(0) and prepending 0.
+	cand := bitset.New(lg.N())
+	for _, w := range lg.Neighbors(0) {
+		cand.Add(int(w))
+	}
+	best := lg.MaxClique(cand)
+	out := make([]int32, 0, len(best)+1)
+	out = append(out, self)
+	for _, i := range best {
+		out = append(out, local[i])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// cliqueLess reports whether a is a strictly better clique than b:
+// larger, then smaller minimum, then lexicographically smaller.
+func cliqueLess(a, b []int32) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSorted(xs []int32, v int32) bool {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	return i < len(xs) && xs[i] == v
+}
+
+// NeighborsNeighbors runs the Section 3 "neighbors' neighbors" algorithm
+// in the LOCAL model (unbounded messages): each node ships its neighbor
+// list, locally solves maximum clique on its closed neighborhood, proposes
+// the result, and overlapping proposals are resolved by a best-choice
+// confirmation round. The returned metrics quantify exactly why the paper
+// rules this approach out.
+func NeighborsNeighbors(g *graph.Graph, opts NNOptions) (*NNResult, error) {
+	n := g.N()
+	phase := 0
+	nodes := make([]*nnNode, n)
+	net := congest.NewNetwork(g, congest.Options{
+		Seed:        opts.Seed,
+		Unbounded:   true, // the LOCAL model of Section 3
+		Parallelism: opts.Parallelism,
+	}, func(ctx *congest.Context) congest.Proc {
+		nd := &nnNode{phase: &phase, idBits: bitsFor(n)}
+		nodes[ctx.Index()] = nd
+		return nd
+	})
+	for _, name := range []string{"lists", "propose", "choose", "confirm"} {
+		if err := net.RunPhase(name); err != nil {
+			return nil, err
+		}
+		phase++
+	}
+
+	res := &NNResult{Labels: make([]int64, n)}
+	byLabel := map[int64][]int{}
+	for i, nd := range nodes {
+		res.Labels[i] = nd.out
+		if nd.out >= 0 {
+			byLabel[nd.out] = append(byLabel[nd.out], i)
+		}
+		res.LocalCliqueCalls += nd.cliqueCalls
+	}
+	for label, members := range byLabel {
+		sort.Ints(members)
+		res.Cliques = append(res.Cliques, NNClique{Label: label, Members: members})
+	}
+	sort.Slice(res.Cliques, func(i, j int) bool {
+		if len(res.Cliques[i].Members) != len(res.Cliques[j].Members) {
+			return len(res.Cliques[i].Members) > len(res.Cliques[j].Members)
+		}
+		return res.Cliques[i].Label < res.Cliques[j].Label
+	})
+	res.Metrics = net.Metrics()
+	return res, nil
+}

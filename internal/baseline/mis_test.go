@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"testing"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+// checkMIS verifies independence and maximality.
+func checkMIS(t *testing.T, g *graph.Graph, inMIS []bool) {
+	t.Helper()
+	set := bitset.New(g.N())
+	for v, in := range inMIS {
+		if in {
+			set.Add(v)
+		}
+	}
+	if g.EdgesWithin(set) != 0 {
+		t.Fatal("MIS is not independent")
+	}
+	for v := 0; v < g.N(); v++ {
+		if set.Contains(v) {
+			continue
+		}
+		if g.DegreeIn(v, set) == 0 {
+			t.Fatalf("MIS not maximal: node %d has no MIS neighbor", v)
+		}
+	}
+}
+
+func TestLubyMISOnFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", gen.ErdosRenyi(80, 0.15, 3)},
+		{"complete", gen.Complete(25)},
+		{"empty", gen.Empty(15)},
+		{"path", gen.Path(30)},
+		{"star", gen.Star(20)},
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 3; seed++ {
+			res, err := LubyMIS(tc.g, MISOptions{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			checkMIS(t, tc.g, res.InMIS)
+		}
+	}
+}
+
+func TestLubyMISCompleteGraphPicksOne(t *testing.T) {
+	res, err := LubyMIS(gen.Complete(30), MISOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, in := range res.InMIS {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("MIS of K30 has %d nodes, want 1", count)
+	}
+}
+
+func TestLubyMISEmptyGraphPicksAll(t *testing.T) {
+	res, err := LubyMIS(gen.Empty(12), MISOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range res.InMIS {
+		if !in {
+			t.Fatalf("isolated node %d not in MIS", v)
+		}
+	}
+}
+
+func TestLubyMISFewPhases(t *testing.T) {
+	// O(log n) phases w.h.p.
+	res, err := LubyMIS(gen.ErdosRenyi(200, 0.1, 9), MISOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases > 20 {
+		t.Fatalf("Luby used %d phases on n=200; expected O(log n)", res.Phases)
+	}
+}
+
+func TestLubyMISDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.2, 4)
+	a, err := LubyMIS(g, MISOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LubyMIS(g, MISOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InMIS {
+		if a.InMIS[v] != b.InMIS[v] {
+			t.Fatalf("node %d differs across identical runs", v)
+		}
+	}
+}
+
+// TestComplementMISFindsMaximalNotMaximum reproduces the paper's remark:
+// MIS on the complement yields a clique with no size guarantee — on a
+// planted-clique instance it typically returns a tiny maximal clique, not
+// the planted maximum one.
+func TestComplementMISFindsMaximalNotMaximum(t *testing.T) {
+	p := gen.PlantedClique(120, 40, 0.05, 13)
+	smaller := 0
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		clique, _, err := MaximalCliqueViaComplementMIS(p.Graph, MISOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(clique) == 0 {
+			t.Fatal("empty clique returned")
+		}
+		if !p.Graph.IsClique(bitset.FromIndices(p.Graph.N(), clique)) {
+			t.Fatalf("returned set %v not a clique", clique)
+		}
+		if len(clique) < 40 {
+			smaller++
+		}
+	}
+	if smaller == 0 {
+		t.Fatal("complement-MIS always found the maximum clique; the paper's remark demands otherwise on typical runs")
+	}
+}

@@ -1,0 +1,253 @@
+// Package baseline implements the two "simple approaches" of Section 3 of
+// the paper, which motivate Algorithm DistNearClique by failing in
+// instructive ways:
+//
+//   - The shingles algorithm (Broder et al. [6]): constant rounds and small
+//     messages, but Claim 1 exhibits graph families where its candidate
+//     sets are provably too sparse or too small.
+//   - The neighbors' neighbors algorithm: correct, but needs unbounded
+//     (LOCAL-model) messages and locally solves maximum clique.
+//
+// Both run on the same congest simulator as the real algorithm so their
+// costs are measured in the same units.
+package baseline
+
+import (
+	"sort"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/graph"
+)
+
+// ShinglesOptions configures the shingles baseline.
+type ShinglesOptions struct {
+	// Epsilon: a candidate set survives if its density is ≥ 1−Epsilon.
+	Epsilon float64
+	// MinSize: survivors must have at least this many members (≥ 2).
+	MinSize int
+	// Seed drives the random shingle draws.
+	Seed int64
+	// Parallelism bounds simulator workers; 0 = GOMAXPROCS.
+	Parallelism int
+}
+
+// ShinglesSet is one candidate set of the shingles algorithm.
+type ShinglesSet struct {
+	// Label is the winning shingle value (the "namesake").
+	Label int64
+	// Leader is the node whose shingle is the label.
+	Leader int
+	// Members are the nodes whose minimum closed-neighborhood shingle was
+	// the label, sorted.
+	Members []int
+	// Density is the Definition-1 density of Members.
+	Density float64
+	// Survived reports whether the set met the size and density bounds.
+	Survived bool
+}
+
+// ShinglesResult is the output of the shingles baseline.
+type ShinglesResult struct {
+	// Labels holds each node's output: the shingle label of its surviving
+	// set, or −1 (⊥).
+	Labels []int64
+	// Sets are all candidate sets (surviving or not), largest first.
+	Sets []ShinglesSet
+	// Metrics holds simulator costs.
+	Metrics congest.Metrics
+}
+
+// shingle messages.
+type msgShingle struct {
+	w uint16
+	r int64
+}
+
+func (m msgShingle) BitLen() int { return int(m.w) }
+
+type msgSetLabel struct {
+	w uint16
+	r int64
+}
+
+func (m msgSetLabel) BitLen() int { return int(m.w) }
+
+type msgReport struct {
+	w   uint16
+	deg int32
+}
+
+func (m msgReport) BitLen() int { return int(m.w) }
+
+type msgDecide struct {
+	w       uint16
+	r       int64
+	survive bool
+}
+
+func (m msgDecide) BitLen() int { return int(m.w) }
+
+type shingleNode struct {
+	opts  *ShinglesOptions
+	phase *int
+	bits  shingleWire
+
+	r        int64           // own shingle
+	shingles map[int32]int64 // neighbor -> shingle
+	label    int64           // min over closed neighborhood
+	leader   int32           // node whose shingle is the label (may be self)
+
+	sameLabelNbrs int // neighbors sharing my label
+
+	// Leader state: reports for my shingle.
+	reports   []int32
+	reportSum int64
+
+	out      int64 // final label or -1
+	decision ShinglesSet
+	isLeader bool
+}
+
+type shingleWire struct {
+	shingleBits int
+	cntBits     int
+}
+
+var _ congest.Proc = (*shingleNode)(nil)
+
+const (
+	shPhasePick = iota
+	shPhaseLabel
+	shPhaseReport
+	shPhaseDecide
+)
+
+func (nd *shingleNode) PhaseStart(ctx *congest.Context) {
+	switch *nd.phase {
+	case shPhasePick:
+		nd.r = ctx.Rand().Int63n(1 << uint(nd.bits.shingleBits))
+		nd.shingles = make(map[int32]int64, ctx.Degree())
+		nd.out = -1
+		ctx.Broadcast(msgShingle{w: uint16(nd.bits.shingleBits), r: nd.r})
+	case shPhaseLabel:
+		// Select the minimum shingle over the closed neighborhood.
+		nd.label = nd.r
+		nd.leader = int32(ctx.Index())
+		for _, w := range ctx.Neighbors() {
+			if s, ok := nd.shingles[w]; ok && s < nd.label {
+				nd.label = s
+				nd.leader = w
+			}
+		}
+		ctx.Broadcast(msgSetLabel{w: uint16(nd.bits.shingleBits), r: nd.label})
+	case shPhaseReport:
+		// Send my in-set degree to my set's leader.
+		m := msgReport{w: uint16(nd.bits.cntBits), deg: int32(nd.sameLabelNbrs)}
+		if nd.leader == int32(ctx.Index()) {
+			nd.reports = append(nd.reports, int32(ctx.Index()))
+			nd.reportSum += int64(nd.sameLabelNbrs)
+		} else {
+			ctx.Send(congest.NodeID(nd.leader), m)
+		}
+	case shPhaseDecide:
+		// Leaders for their own shingle value: nodes that received reports
+		// or whose own label equals their shingle.
+		if len(nd.reports) == 0 {
+			return
+		}
+		nd.isLeader = true
+		m := len(nd.reports)
+		density := 1.0
+		if m > 1 {
+			density = float64(nd.reportSum) / float64(m*(m-1))
+		}
+		survive := m >= nd.opts.MinSize && density >= 1-nd.opts.Epsilon-1e-9
+		nd.decision = ShinglesSet{
+			Label:    nd.r,
+			Leader:   int(ctx.Index()),
+			Density:  density,
+			Survived: survive,
+		}
+		ctx.Broadcast(msgDecide{w: uint16(nd.bits.shingleBits + 1), r: nd.r, survive: survive})
+		// The leader may itself be a member of its set.
+		if nd.label == nd.r && survive {
+			nd.out = nd.r
+		}
+	}
+}
+
+func (nd *shingleNode) Recv(ctx *congest.Context, from congest.NodeID, msg congest.Message) {
+	switch m := msg.(type) {
+	case msgShingle:
+		nd.shingles[int32(from)] = m.r
+	case msgSetLabel:
+		if m.r == nd.label {
+			nd.sameLabelNbrs++
+		}
+	case msgReport:
+		nd.reports = append(nd.reports, int32(from))
+		nd.reportSum += int64(m.deg)
+	case msgDecide:
+		if m.r == nd.label && m.survive {
+			nd.out = m.r
+		}
+	}
+}
+
+// Shingles runs the Section 3 shingles algorithm: every node draws a
+// random ID, adopts the minimum over its closed neighborhood as its label,
+// the label's namesake collects the candidate set's size and internal
+// degrees, and sets that are large and dense enough survive. Candidate
+// sets are disjoint by construction, so the paper's overlap resolution
+// step never fires; we note this in DESIGN.md.
+func Shingles(g *graph.Graph, opts ShinglesOptions) (*ShinglesResult, error) {
+	if opts.MinSize < 2 {
+		opts.MinSize = 2
+	}
+	n := g.N()
+	idBits := bitsFor(n + 1)
+	shingleBits := 2*idBits + 16
+	if shingleBits > 62 {
+		shingleBits = 62
+	}
+	bits := shingleWire{shingleBits: shingleBits, cntBits: idBits + 1}
+	phase := 0
+	nodes := make([]*shingleNode, n)
+	net := congest.NewNetwork(g, congest.Options{Seed: opts.Seed, Parallelism: opts.Parallelism},
+		func(ctx *congest.Context) congest.Proc {
+			nd := &shingleNode{opts: &opts, phase: &phase, bits: bits}
+			nodes[ctx.Index()] = nd
+			return nd
+		})
+	for _, name := range []string{"pick", "label", "report", "decide"} {
+		if err := net.RunPhase(name); err != nil {
+			return nil, err
+		}
+		phase++
+	}
+
+	res := &ShinglesResult{Labels: make([]int64, n)}
+	byLabel := map[int64][]int{}
+	for i, nd := range nodes {
+		res.Labels[i] = nd.out
+		byLabel[nd.label] = append(byLabel[nd.label], i)
+	}
+	for _, nd := range nodes {
+		if !nd.isLeader {
+			continue
+		}
+		set := nd.decision
+		set.Members = byLabel[set.Label]
+		sort.Ints(set.Members)
+		set.Density = g.DensityOf(set.Members)
+		res.Sets = append(res.Sets, set)
+	}
+	sort.Slice(res.Sets, func(i, j int) bool {
+		if len(res.Sets[i].Members) != len(res.Sets[j].Members) {
+			return len(res.Sets[i].Members) > len(res.Sets[j].Members)
+		}
+		return res.Sets[i].Label < res.Sets[j].Label
+	})
+	res.Metrics = net.Metrics()
+	return res, nil
+}

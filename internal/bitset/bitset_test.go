@@ -1,0 +1,271 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty: count=%d", s.Count())
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len=%d, want 100", s.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if s.Contains(i) {
+			t.Fatalf("new set contains %d", i)
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // cross a word boundary
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count=%d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) true after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count=%d, want 7", got)
+	}
+	// Idempotency: re-adding a present bit and re-removing an absent bit
+	// leave the count unchanged.
+	s.Add(0)
+	s.Add(0)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("double Add changed count: %d", got)
+	}
+	s.Remove(64)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("double Remove changed count: %d", got)
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("Contains out of range should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(50, []int{3, 7, 7, 49})
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count=%d, want 3", got)
+	}
+	want := []int{3, 7, 49}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(200, []int{1, 2, 3, 100, 150})
+	b := FromIndices(200, []int{2, 3, 4, 150, 199})
+
+	u := a.Clone()
+	u.Union(b)
+	if got := u.Count(); got != 7 {
+		t.Fatalf("union count=%d, want 7", got)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if got := i.Indices(); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 150 {
+		t.Fatalf("intersect=%v, want [2 3 150]", got)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if got := d.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 100 {
+		t.Fatalf("subtract=%v, want [1 100]", got)
+	}
+
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Fatalf("IntersectionCount=%d, want 3", got)
+	}
+	if !i.IsSubsetOf(a) || !i.IsSubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	if a.IsSubsetOf(b) {
+		t.Fatal("a should not be subset of b")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(100, []int{5, 50})
+	b := FromIndices(100, []int{5, 50})
+	c := FromIndices(100, []int{5, 51})
+	d := FromIndices(101, []int{5, 50})
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	if a.Equal(c) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if a.Equal(d) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, []int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestClear(t *testing.T) {
+	a := FromIndices(64, []int{0, 63})
+	a.Clear()
+	if a.Count() != 0 {
+		t.Fatal("Clear left bits set")
+	}
+	if a.Len() != 64 {
+		t.Fatal("Clear changed length")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromIndices(200, []int{5, 64, 130})
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {130, 130}, {131, -1}, {-5, 5}, {500, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d)=%d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromIndices(300, []int{299, 0, 64, 65, 128})
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 65, 128, 299}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(10, []int{1, 5, 9})
+	if got := s.String(); got != "{1, 5, 9}" {
+		t.Fatalf("String=%q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String=%q", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched lengths should panic")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+// Property: Count equals the number of distinct indices added.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		distinct := map[int]bool{}
+		for _, i := range idx {
+			s.Add(int(i))
+			distinct[int(i)] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |a∩b| + |a\b| = |a| and De Morgan-ish union size.
+func TestQuickSetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		inter := a.IntersectionCount(b)
+		diff := a.Clone()
+		diff.Subtract(b)
+		if inter+diff.Count() != a.Count() {
+			t.Fatalf("n=%d: |a∩b|+|a\\b| = %d+%d ≠ |a|=%d", n, inter, diff.Count(), a.Count())
+		}
+		uni := a.Clone()
+		uni.Union(b)
+		if uni.Count() != a.Count()+b.Count()-inter {
+			t.Fatalf("n=%d: |a∪b|=%d ≠ |a|+|b|−|a∩b|=%d", n, uni.Count(), a.Count()+b.Count()-inter)
+		}
+	}
+}
+
+// Property: Indices round-trips through FromIndices.
+func TestQuickIndicesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		for i := 0; i < n/3; i++ {
+			s.Add(rng.Intn(n))
+		}
+		if !FromIndices(n, s.Indices()).Equal(s) {
+			t.Fatal("Indices/FromIndices round trip failed")
+		}
+	}
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	n := 4096
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(n), New(n)
+	for i := 0; i < n/2; i++ {
+		x.Add(rng.Intn(n))
+		y.Add(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectionCount(y)
+	}
+}

@@ -1,0 +1,197 @@
+package congest
+
+import (
+	"testing"
+
+	"nearclique/internal/graph"
+)
+
+func TestAsyncBroadcastDelivery(t *testing.T) {
+	g := lineGraph(3)
+	net := NewNetwork(g, Options{Seed: 1, Async: true}, func(ctx *Context) Proc { return &echoProc{} })
+	if err := net.RunPhase("echo"); err != nil {
+		t.Fatal(err)
+	}
+	p1 := net.Proc(1).(*echoProc)
+	if len(p1.heard) != 2 || p1.heard[0] != 0 || p1.heard[1] != 2 {
+		t.Fatalf("node1 heard %v", p1.heard)
+	}
+	m := net.Metrics()
+	if m.AsyncAcks == 0 || m.AsyncSafes == 0 {
+		t.Fatalf("synchronizer overhead not recorded: %+v", m)
+	}
+	if m.AsyncVirtualTime == 0 {
+		t.Fatal("virtual time not recorded")
+	}
+}
+
+func TestAsyncPipeliningOrderPreserved(t *testing.T) {
+	// k frames on one edge must still arrive in FIFO order, one per
+	// node-round (pipeProc panics on reordering).
+	g := lineGraph(2)
+	k := 9
+	net := NewNetwork(g, Options{Seed: 3, Async: true}, func(ctx *Context) Proc { return &pipeProc{k: k} })
+	if err := net.RunPhase("pipe"); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Proc(1).(*pipeProc).heard; got != k {
+		t.Fatalf("heard %d, want %d", got, k)
+	}
+	// Node rounds should be ≈ k (one frame per round), not 1.
+	if net.Rounds() < k {
+		t.Fatalf("rounds=%d, want ≥ %d (one frame per edge per round)", net.Rounds(), k)
+	}
+}
+
+// TestAsyncMatchesSyncOutputs is the synchronizer's correctness property:
+// the same Procs produce identical protocol outputs under both executors.
+func TestAsyncMatchesSyncOutputs(t *testing.T) {
+	build := func() *graph.Graph {
+		b := graph.NewBuilder(40)
+		for v := 0; v < 40; v++ {
+			b.AddEdge(v, (v+1)%40)
+			b.AddEdge(v, (v+9)%40)
+		}
+		return b.Build()
+	}
+	run := func(async bool) [][]int {
+		net := NewNetwork(build(), Options{Seed: 11, Async: async}, func(ctx *Context) Proc {
+			return &echoProc{}
+		})
+		if err := net.RunPhase("echo"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]int, 40)
+		for v := 0; v < 40; v++ {
+			out[v] = net.Proc(v).(*echoProc).heard
+		}
+		return out
+	}
+	sync, async := run(false), run(true)
+	for v := range sync {
+		if len(sync[v]) != len(async[v]) {
+			t.Fatalf("node %d: %v vs %v", v, sync[v], async[v])
+		}
+		for i := range sync[v] {
+			if sync[v][i] != async[v][i] {
+				t.Fatalf("node %d delivery %d differs: %v vs %v", v, i, sync[v], async[v])
+			}
+		}
+	}
+}
+
+func TestAsyncRelayVirtualTime(t *testing.T) {
+	// A relay over an n-line takes ≥ n−1 virtual time units even with the
+	// synchronizer (causal chain), and node rounds ≈ n−1.
+	n := 10
+	net := NewNetwork(lineGraph(n), Options{Seed: 7, Async: true, AsyncMaxDelay: 3},
+		func(ctx *Context) Proc { return &relayProc{} })
+	if err := net.RunPhase("relay"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Proc(n-1).(*relayProc).got != 1 {
+		t.Fatal("relay did not complete")
+	}
+	m := net.Metrics()
+	if m.AsyncVirtualTime < int64(n-1) {
+		t.Fatalf("virtual time %d below causal chain %d", m.AsyncVirtualTime, n-1)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	run := func() Metrics {
+		net := NewNetwork(lineGraph(8), Options{Seed: 5, Async: true},
+			func(ctx *Context) Proc { return &echoProc{} })
+		if err := net.RunPhase("echo"); err != nil {
+			t.Fatal(err)
+		}
+		return net.Metrics()
+	}
+	a, b := run(), run()
+	if a.AsyncVirtualTime != b.AsyncVirtualTime || a.Frames != b.Frames ||
+		a.AsyncAcks != b.AsyncAcks || a.AsyncSafes != b.AsyncSafes {
+		t.Fatalf("async runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestAsyncMultiplePhases(t *testing.T) {
+	g := lineGraph(5)
+	net := NewNetwork(g, Options{Seed: 2, Async: true}, func(ctx *Context) Proc {
+		return procFunc{
+			start: func(ctx *Context) {
+				if ctx.Index() == 0 {
+					ctx.Send(1, intMsg{v: 1})
+				}
+			},
+		}
+	})
+	if err := net.RunPhase("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunPhase("b"); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if len(m.Phases) != 2 {
+		t.Fatalf("phases %+v", m.Phases)
+	}
+	if m.Frames != 2 {
+		t.Fatalf("frames=%d, want 2", m.Frames)
+	}
+}
+
+func TestAsyncIdlePhase(t *testing.T) {
+	net := NewNetwork(lineGraph(4), Options{Seed: 2, Async: true},
+		func(ctx *Context) Proc { return procFunc{} })
+	if err := net.RunPhase("idle"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Metrics().Frames != 0 {
+		t.Fatal("idle phase sent frames")
+	}
+}
+
+func TestAsyncIsolatedNodes(t *testing.T) {
+	net := NewNetwork(graph.NewBuilder(6).Build(), Options{Seed: 2, Async: true},
+		func(ctx *Context) Proc { return &echoProc{} })
+	if err := net.RunPhase("noop"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncSynchronizerOverheadScalesWithRounds(t *testing.T) {
+	// The α-synchronizer costs Θ(|E|) safe signals per round: a k-frame
+	// pipe (k rounds) must record ≈ k× the safes of a 1-frame pipe.
+	run := func(k int) int {
+		net := NewNetwork(lineGraph(2), Options{Seed: 4, Async: true},
+			func(ctx *Context) Proc { return &pipeProc{k: k} })
+		if err := net.RunPhase("pipe"); err != nil {
+			t.Fatal(err)
+		}
+		return net.Metrics().AsyncSafes
+	}
+	small, large := run(1), run(12)
+	if large < 6*small {
+		t.Fatalf("safe overhead did not scale with rounds: %d vs %d", small, large)
+	}
+}
+
+func TestAsyncMaxRounds(t *testing.T) {
+	// Endless ping-pong must trip the round bound asynchronously too.
+	net := NewNetwork(lineGraph(2), Options{Seed: 1, Async: true, MaxRounds: 10},
+		func(ctx *Context) Proc {
+			return procFunc{
+				start: func(ctx *Context) {
+					if ctx.Index() == 0 {
+						ctx.Send(1, intMsg{})
+					}
+				},
+				recv: func(ctx *Context, from NodeID, msg Message) {
+					ctx.Send(from, msg)
+				},
+			}
+		})
+	if err := net.RunPhase("pingpong"); err == nil {
+		t.Fatal("async round limit not enforced")
+	}
+}

@@ -1,0 +1,477 @@
+// Package congest simulates the standard synchronous CONGEST model of
+// distributed computing (Peleg 2000), the model of Section 2 of the paper:
+//
+//   - The system is an undirected graph; nodes are processors, edges are
+//     communication links.
+//   - Execution proceeds in synchronous rounds. In each round every node
+//     may send one message per incident edge (possibly different messages
+//     on different edges), receives the messages sent to it, and computes.
+//   - Every message is limited to O(log n) bits: a constant number of node
+//     identifiers and polynomially-bounded counters.
+//
+// Protocol logic is supplied as one Proc per node. Sends are enqueued on
+// per-directed-edge FIFO queues; the runtime delivers at most one frame per
+// directed edge per round, which models the pipelining the paper's Lemma
+// 5.1 round accounting relies on. Frames exceeding the per-message bit
+// budget cause a panic when enforcement is on (a protocol bug), or are
+// recorded in the metrics when enforcement is off (how the LOCAL-model
+// "neighbors' neighbors" baseline is measured rather than forbidden).
+//
+// Multi-phase protocols advance phases when the network is quiescent (no
+// frame queued anywhere); see DESIGN.md §2 for why this synchronizer
+// stand-in is faithful for round accounting.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nearclique/internal/graph"
+)
+
+// NodeID is a dense node index in [0, n).
+type NodeID int32
+
+// Message is a frame payload. BitLen reports the payload size in bits and
+// is charged against the per-edge per-round budget.
+type Message interface {
+	BitLen() int
+}
+
+// Proc is the per-node protocol logic. Implementations must confine
+// themselves to their own state and the provided Context: Procs of
+// different nodes run concurrently within a round.
+type Proc interface {
+	// PhaseStart is invoked once at the beginning of every phase, before
+	// any delivery of that phase.
+	PhaseStart(ctx *Context)
+	// Recv is invoked once per frame delivered to this node, in increasing
+	// order of sender within a round.
+	Recv(ctx *Context, from NodeID, msg Message)
+}
+
+// ErrRoundLimit is returned by RunPhase when Options.MaxRounds is exceeded
+// (the deterministic running-time bound wrapper of Section 4.1).
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives all per-node randomness (deterministically split).
+	Seed int64
+	// FrameBits overrides the per-message budget; 0 means the default
+	// B(n) = 4⌈log₂(n+1)⌉ + 16.
+	FrameBits int
+	// Unbounded disables frame-size enforcement (the LOCAL model of §3).
+	// Oversized frames are still recorded in Metrics.MaxFrameBits.
+	Unbounded bool
+	// MaxRounds, if positive, bounds the total rounds across all phases.
+	MaxRounds int
+	// Parallelism bounds worker goroutines per round; 0 means GOMAXPROCS.
+	Parallelism int
+	// Async runs phases on the asynchronous executor with Awerbuch's
+	// α-synchronizer instead of the synchronous round loop (see async.go).
+	// Protocol outputs are identical; the synchronizer overhead appears in
+	// the Async* metrics.
+	Async bool
+	// AsyncMaxDelay bounds per-message delivery delay in virtual time
+	// units (default 5). Only meaningful with Async.
+	AsyncMaxDelay int
+}
+
+// PhaseMetrics aggregates per-phase costs.
+type PhaseMetrics struct {
+	Name   string
+	Rounds int
+	Frames int
+	Bits   int
+}
+
+// Metrics aggregates whole-run costs.
+type Metrics struct {
+	Rounds       int // total rounds across phases (async: max node round)
+	Frames       int // protocol frames delivered
+	Bits         int // payload bits delivered
+	MaxFrameBits int // largest single frame observed
+	Phases       []PhaseMetrics
+
+	// Asynchronous-executor extras (zero in synchronous runs): the
+	// α-synchronizer's acknowledgement and safe-signal overheads, and the
+	// largest virtual completion time of any phase.
+	AsyncAcks        int
+	AsyncSafes       int
+	AsyncVirtualTime int64
+}
+
+// Network is a synchronous CONGEST-model executor over a fixed graph.
+type Network struct {
+	g     *graph.Graph
+	opts  Options
+	procs []Proc
+	ctxs  []*Context
+	ids   []int64 // protocol IDs: pseudorandom permutation of [0, n)
+
+	queues   []fifo  // one per directed edge, indexed by edgeOffset
+	offsets  []int   // node -> first directed-edge index (CSR layout)
+	edgeFrom []int32 // directed edge -> sender
+	edgeTo   []int32 // directed edge -> receiver
+
+	activeEdges []int32 // directed-edge indices with non-empty queues
+	activeFlag  []bool
+
+	inbox        [][]delivery // per destination, reused across rounds
+	touched      []int32
+	touchedFlag  []bool
+	frameBits    int
+	metrics      Metrics
+	currentPhase *PhaseMetrics
+	workers      int
+	async        *asyncEngine // non-nil when Options.Async is set
+}
+
+type delivery struct {
+	from NodeID
+	msg  Message
+}
+
+type fifo struct {
+	buf  []Message
+	head int
+}
+
+func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
+func (q *fifo) empty() bool    { return q.head >= len(q.buf) }
+func (q *fifo) pop() Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// DefaultFrameBits returns the default CONGEST per-message budget for an
+// n-node network: room for a constant number of IDs and counters.
+func DefaultFrameBits(n int) int {
+	return 4*bitsFor(n+1) + 16
+}
+
+// bitsFor returns ⌈log₂(x)⌉ for x ≥ 1 (bits needed to address x values).
+func bitsFor(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// NewNetwork builds a Network over g. procFor constructs the Proc for each
+// node index and receives that node's Context for registration.
+func NewNetwork(g *graph.Graph, opts Options, procFor func(ctx *Context) Proc) *Network {
+	n := g.N()
+	net := &Network{
+		g:           g,
+		opts:        opts,
+		procs:       make([]Proc, n),
+		ctxs:        make([]*Context, n),
+		ids:         permutedIDs(n, opts.Seed),
+		offsets:     make([]int, n+1),
+		activeFlag:  nil,
+		inbox:       make([][]delivery, n),
+		touchedFlag: make([]bool, n),
+	}
+	net.frameBits = opts.FrameBits
+	if net.frameBits == 0 {
+		net.frameBits = DefaultFrameBits(n)
+	}
+	net.workers = opts.Parallelism
+	if net.workers <= 0 {
+		net.workers = runtime.GOMAXPROCS(0)
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		net.offsets[v] = total
+		total += g.Degree(v)
+	}
+	net.offsets[n] = total
+	net.queues = make([]fifo, total)
+	net.activeFlag = make([]bool, total)
+	net.edgeFrom = make([]int32, total)
+	net.edgeTo = make([]int32, total)
+	for v := 0; v < n; v++ {
+		base := net.offsets[v]
+		for i, w := range g.Neighbors(v) {
+			net.edgeFrom[base+i] = int32(v)
+			net.edgeTo[base+i] = w
+		}
+	}
+	for v := 0; v < n; v++ {
+		ctx := &Context{net: net, idx: NodeID(v)}
+		net.ctxs[v] = ctx
+		net.procs[v] = procFor(ctx)
+	}
+	if opts.Async {
+		net.async = newAsyncEngine(net)
+	}
+	return net
+}
+
+// permutedIDs assigns each node a distinct O(log n)-bit protocol ID via a
+// seeded permutation, so that ID order is uncorrelated with node index.
+func permutedIDs(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x1dfa_c0de))
+	perm := rng.Perm(n)
+	ids := make([]int64, n)
+	for i, p := range perm {
+		ids[i] = int64(p)
+	}
+	return ids
+}
+
+// Graph returns the underlying communication graph.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// Metrics returns a copy of the accumulated metrics.
+func (net *Network) Metrics() Metrics {
+	m := net.metrics
+	m.Phases = append([]PhaseMetrics(nil), net.metrics.Phases...)
+	return m
+}
+
+// FrameBits returns the per-message bit budget B(n).
+func (net *Network) FrameBits() int { return net.frameBits }
+
+// Rounds returns the total rounds executed so far.
+func (net *Network) Rounds() int { return net.metrics.Rounds }
+
+// Proc returns the Proc installed at node v (for result extraction).
+func (net *Network) Proc(v int) Proc { return net.procs[v] }
+
+// Context gives a Proc access to its node's identity, neighborhood,
+// randomness, and outgoing links.
+type Context struct {
+	net *Network
+	idx NodeID
+	rng *rand.Rand
+	// pendingActivations buffers directed edges whose queues became
+	// non-empty during this node's processing slice of the round; merged
+	// serially after the parallel section so workers never share state.
+	pendingActivations []int32
+	// sends counts every frame ever enqueued by this node (the async
+	// executor charges its outstanding-work ledger from it).
+	sends int
+}
+
+// Index returns the node's dense index in [0, n).
+func (c *Context) Index() NodeID { return c.idx }
+
+// ID returns the node's protocol identifier (O(log n) bits, unique).
+func (c *Context) ID() int64 { return c.net.ids[c.idx] }
+
+// N returns the network size. (Standard assumption: nodes know n, needed
+// to size O(log n)-bit fields.)
+func (c *Context) N() int { return c.net.g.N() }
+
+// Degree returns the node's degree.
+func (c *Context) Degree() int { return c.net.g.Degree(int(c.idx)) }
+
+// Neighbors returns the node's neighbor indices, sorted ascending. Shared;
+// do not modify.
+func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(int(c.idx)) }
+
+// NeighborID returns the protocol ID of a neighbor (nodes know their
+// neighbors' IDs after one implicit exchange, a standard assumption; the
+// protocols in this repository only use it where the paper does).
+func (c *Context) NeighborID(v NodeID) int64 { return c.net.ids[v] }
+
+// Rand returns this node's private deterministic RNG.
+func (c *Context) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(splitSeed(c.net.opts.Seed, int64(c.idx))))
+	}
+	return c.rng
+}
+
+// FrameBits returns the per-message budget, for sizing chunked streams.
+func (c *Context) FrameBits() int { return c.net.frameBits }
+
+// Round returns the current global round number (1-based during delivery).
+func (c *Context) Round() int { return c.net.metrics.Rounds }
+
+// Send enqueues msg on the directed edge to neighbor `to`. Panics if `to`
+// is not a neighbor, or if the frame exceeds the bit budget while
+// enforcement is on (both are protocol bugs).
+func (c *Context) Send(to NodeID, msg Message) {
+	net := c.net
+	if b := msg.BitLen(); b > net.frameBits && !net.opts.Unbounded {
+		panic(fmt.Sprintf("congest: frame of %d bits exceeds budget %d (n=%d): %T",
+			b, net.frameBits, net.g.N(), msg))
+	}
+	nbrs := net.g.Neighbors(int(c.idx))
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(to) })
+	if i >= len(nbrs) || nbrs[i] != int32(to) {
+		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", c.idx, to))
+	}
+	edge := net.offsets[c.idx] + i
+	q := &net.queues[edge]
+	wasEmpty := q.empty()
+	q.push(msg)
+	c.sends++
+	if wasEmpty && !net.activeFlag[edge] {
+		net.activeFlag[edge] = true
+		c.pendingActivations = append(c.pendingActivations, int32(edge))
+	}
+}
+
+// Broadcast sends msg on every incident edge.
+func (c *Context) Broadcast(msg Message) {
+	for _, v := range c.Neighbors() {
+		c.Send(NodeID(v), msg)
+	}
+}
+
+// RunPhase executes one protocol phase: PhaseStart on every node, then
+// rounds until the network is quiescent. Returns ErrRoundLimit if the
+// configured MaxRounds is exceeded.
+func (net *Network) RunPhase(name string) error {
+	if net.async != nil {
+		return net.async.runPhase(name)
+	}
+	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
+	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]
+
+	// Phase start: every node may initiate sends.
+	net.parallelNodes(len(net.ctxs), func(v int) {
+		net.procs[v].PhaseStart(net.ctxs[v])
+	})
+	net.mergeActivations(net.ctxs)
+
+	for len(net.activeEdges) > 0 {
+		if net.opts.MaxRounds > 0 && net.metrics.Rounds >= net.opts.MaxRounds {
+			return fmt.Errorf("%w: %d rounds (phase %s)", ErrRoundLimit, net.metrics.Rounds, name)
+		}
+		net.stepRound()
+	}
+	net.currentPhase = nil
+	return nil
+}
+
+// stepRound delivers one frame per active directed edge, then lets every
+// touched node process its inbox concurrently.
+func (net *Network) stepRound() {
+	net.metrics.Rounds++
+	net.currentPhase.Rounds++
+
+	edges := net.activeEdges
+	net.activeEdges = net.activeEdges[:0]
+	net.touched = net.touched[:0]
+
+	frames, bitsTotal := 0, 0
+	for _, e := range edges {
+		q := &net.queues[e]
+		msg := q.pop()
+		if !q.empty() {
+			net.activeEdges = append(net.activeEdges, e)
+		} else {
+			net.activeFlag[e] = false
+		}
+		from, to := int(net.edgeFrom[e]), int(net.edgeTo[e])
+		if !net.touchedFlag[to] {
+			net.touchedFlag[to] = true
+			net.touched = append(net.touched, int32(to))
+		}
+		net.inbox[to] = append(net.inbox[to], delivery{from: NodeID(from), msg: msg})
+		frames++
+		b := msg.BitLen()
+		bitsTotal += b
+		if b > net.metrics.MaxFrameBits {
+			net.metrics.MaxFrameBits = b
+		}
+	}
+	net.metrics.Frames += frames
+	net.metrics.Bits += bitsTotal
+	net.currentPhase.Frames += frames
+	net.currentPhase.Bits += bitsTotal
+
+	touched := net.touched
+	net.parallelNodes(len(touched), func(i int) {
+		v := int(touched[i])
+		box := net.inbox[v]
+		sort.Slice(box, func(a, b int) bool { return box[a].from < box[b].from })
+		ctx := net.ctxs[v]
+		proc := net.procs[v]
+		for _, d := range box {
+			proc.Recv(ctx, d.from, d.msg)
+		}
+		net.inbox[v] = box[:0]
+		net.touchedFlag[v] = false
+	})
+	// Merge newly activated edges from the touched nodes' contexts.
+	for _, v := range touched {
+		net.mergeOne(net.ctxs[v])
+	}
+}
+
+func (net *Network) mergeActivations(ctxs []*Context) {
+	for _, ctx := range ctxs {
+		net.mergeOne(ctx)
+	}
+}
+
+func (net *Network) mergeOne(ctx *Context) {
+	if len(ctx.pendingActivations) > 0 {
+		net.activeEdges = append(net.activeEdges, ctx.pendingActivations...)
+		ctx.pendingActivations = ctx.pendingActivations[:0]
+	}
+}
+
+// parallelNodes runs fn(i) for i in [0, n) across the worker pool; inline
+// when small to avoid goroutine overhead in tiny rounds.
+func (net *Network) parallelNodes(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := net.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// splitSeed derives independent per-node seeds (splitmix64 finalizer).
+func splitSeed(seed, node int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(node+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

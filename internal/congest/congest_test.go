@@ -1,0 +1,416 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"nearclique/internal/graph"
+)
+
+// intMsg is a test message carrying one small integer.
+type intMsg struct{ v int }
+
+func (intMsg) BitLen() int { return 16 }
+
+// bigMsg exceeds any reasonable budget.
+type bigMsg struct{}
+
+func (bigMsg) BitLen() int { return 1 << 20 }
+
+// echoProc broadcasts its value once, then records everything it hears.
+type echoProc struct {
+	started bool
+	heard   []int
+	froms   []NodeID
+}
+
+func (p *echoProc) PhaseStart(ctx *Context) {
+	if !p.started {
+		p.started = true
+		ctx.Broadcast(intMsg{v: int(ctx.Index())})
+	}
+}
+
+func (p *echoProc) Recv(ctx *Context, from NodeID, msg Message) {
+	p.heard = append(p.heard, msg.(intMsg).v)
+	p.froms = append(p.froms, from)
+}
+
+func lineGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v-1, v)
+	}
+	return b.Build()
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	g := lineGraph(3)
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return &echoProc{} })
+	if err := net.RunPhase("echo"); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 hears 0 and 2; nodes 0 and 2 hear only 1.
+	p1 := net.Proc(1).(*echoProc)
+	if len(p1.heard) != 2 || p1.heard[0] != 0 || p1.heard[1] != 2 {
+		t.Fatalf("node1 heard %v", p1.heard)
+	}
+	p0 := net.Proc(0).(*echoProc)
+	if len(p0.heard) != 1 || p0.heard[0] != 1 {
+		t.Fatalf("node0 heard %v", p0.heard)
+	}
+	if net.Rounds() != 1 {
+		t.Fatalf("rounds=%d, want 1", net.Rounds())
+	}
+}
+
+func TestDeliveryOrderSortedBySender(t *testing.T) {
+	// Star: center 0 receives from all leaves in one round; Recv order
+	// must be ascending sender index.
+	n := 20
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	net := NewNetwork(b.Build(), Options{Seed: 1}, func(ctx *Context) Proc { return &echoProc{} })
+	if err := net.RunPhase("echo"); err != nil {
+		t.Fatal(err)
+	}
+	center := net.Proc(0).(*echoProc)
+	if len(center.froms) != n-1 {
+		t.Fatalf("center heard %d, want %d", len(center.froms), n-1)
+	}
+	for i := 1; i < len(center.froms); i++ {
+		if center.froms[i-1] >= center.froms[i] {
+			t.Fatalf("delivery order not sorted: %v", center.froms)
+		}
+	}
+}
+
+// pipeProc sends k messages to its single neighbor at phase start.
+type pipeProc struct {
+	k     int
+	heard int
+}
+
+func (p *pipeProc) PhaseStart(ctx *Context) {
+	if int(ctx.Index()) == 0 {
+		for i := 0; i < p.k; i++ {
+			ctx.Send(1, intMsg{v: i})
+		}
+	}
+}
+
+func (p *pipeProc) Recv(ctx *Context, from NodeID, msg Message) {
+	if msg.(intMsg).v != p.heard {
+		panic(fmt.Sprintf("out of order: got %d want %d", msg.(intMsg).v, p.heard))
+	}
+	p.heard++
+}
+
+func TestOneFramePerEdgePerRound(t *testing.T) {
+	// k frames on a single edge must take exactly k rounds (FIFO, 1/round).
+	g := lineGraph(2)
+	k := 17
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return &pipeProc{k: k} })
+	if err := net.RunPhase("pipe"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() != k {
+		t.Fatalf("rounds=%d, want %d", net.Rounds(), k)
+	}
+	if got := net.Proc(1).(*pipeProc).heard; got != k {
+		t.Fatalf("heard %d, want %d", got, k)
+	}
+	m := net.Metrics()
+	if m.Frames != k || m.Bits != 16*k {
+		t.Fatalf("metrics frames=%d bits=%d", m.Frames, m.Bits)
+	}
+}
+
+// relayProc forwards a counter along a line; measures pipelining latency.
+type relayProc struct{ got int }
+
+func (p *relayProc) PhaseStart(ctx *Context) {
+	if int(ctx.Index()) == 0 {
+		ctx.Send(1, intMsg{v: 1})
+	}
+}
+
+func (p *relayProc) Recv(ctx *Context, from NodeID, msg Message) {
+	p.got = msg.(intMsg).v
+	next := int(ctx.Index()) + 1
+	if next < ctx.N() {
+		ctx.Send(NodeID(next), msg)
+	}
+}
+
+func TestRelayTakesDiameterRounds(t *testing.T) {
+	n := 12
+	net := NewNetwork(lineGraph(n), Options{Seed: 1}, func(ctx *Context) Proc { return &relayProc{} })
+	if err := net.RunPhase("relay"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() != n-1 {
+		t.Fatalf("rounds=%d, want %d", net.Rounds(), n-1)
+	}
+	if net.Proc(n-1).(*relayProc).got != 1 {
+		t.Fatal("message did not reach the end")
+	}
+}
+
+func TestFrameBudgetPanics(t *testing.T) {
+	g := lineGraph(2)
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return &echoProc{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized frame should panic in bounded mode")
+		}
+	}()
+	net.ctxs[0].Send(1, bigMsg{})
+}
+
+func TestUnboundedModeRecordsViolation(t *testing.T) {
+	g := lineGraph(2)
+	sent := false
+	net := NewNetwork(g, Options{Seed: 1, Unbounded: true}, func(ctx *Context) Proc {
+		return procFunc{start: func(ctx *Context) {
+			if ctx.Index() == 0 && !sent {
+				sent = true
+				ctx.Send(1, bigMsg{})
+			}
+		}}
+	})
+	if err := net.RunPhase("big"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Metrics().MaxFrameBits != 1<<20 {
+		t.Fatalf("MaxFrameBits=%d", net.Metrics().MaxFrameBits)
+	}
+}
+
+// procFunc adapts closures to Proc.
+type procFunc struct {
+	start func(ctx *Context)
+	recv  func(ctx *Context, from NodeID, msg Message)
+}
+
+func (p procFunc) PhaseStart(ctx *Context) {
+	if p.start != nil {
+		p.start(ctx)
+	}
+}
+func (p procFunc) Recv(ctx *Context, from NodeID, msg Message) {
+	if p.recv != nil {
+		p.recv(ctx, from, msg)
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := lineGraph(3)
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return &echoProc{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to non-neighbor should panic")
+		}
+	}()
+	net.ctxs[0].Send(2, intMsg{})
+}
+
+func TestMaxRounds(t *testing.T) {
+	// Infinite ping-pong between two nodes must hit the limit.
+	g := lineGraph(2)
+	net := NewNetwork(g, Options{Seed: 1, MaxRounds: 10}, func(ctx *Context) Proc {
+		return procFunc{
+			start: func(ctx *Context) {
+				if ctx.Index() == 0 {
+					ctx.Send(1, intMsg{})
+				}
+			},
+			recv: func(ctx *Context, from NodeID, msg Message) {
+				ctx.Send(from, msg) // bounce forever
+			},
+		}
+	})
+	err := net.RunPhase("pingpong")
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("err=%v, want ErrRoundLimit", err)
+	}
+	if net.Rounds() != 10 {
+		t.Fatalf("rounds=%d, want 10", net.Rounds())
+	}
+}
+
+func TestMultiplePhases(t *testing.T) {
+	g := lineGraph(4)
+	var phases atomic.Int32
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc {
+		return procFunc{
+			start: func(ctx *Context) {
+				if ctx.Index() == 0 {
+					phases.Add(1)
+					ctx.Send(1, intMsg{v: int(phases.Load())})
+				}
+			},
+			recv: func(ctx *Context, from NodeID, msg Message) {},
+		}
+	})
+	if err := net.RunPhase("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunPhase("p2"); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if len(m.Phases) != 2 || m.Phases[0].Name != "p1" || m.Phases[1].Name != "p2" {
+		t.Fatalf("phase metrics %+v", m.Phases)
+	}
+	if m.Phases[0].Rounds != 1 || m.Phases[1].Rounds != 1 {
+		t.Fatalf("per-phase rounds wrong: %+v", m.Phases)
+	}
+	if m.Rounds != 2 {
+		t.Fatalf("total rounds=%d", m.Rounds)
+	}
+}
+
+func TestEmptyPhaseQuiescesImmediately(t *testing.T) {
+	g := lineGraph(5)
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return procFunc{} })
+	if err := net.RunPhase("idle"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() != 0 {
+		t.Fatalf("idle phase ran %d rounds", net.Rounds())
+	}
+}
+
+func TestIDsArePermutation(t *testing.T) {
+	n := 100
+	net := NewNetwork(lineGraph(n), Options{Seed: 42}, func(ctx *Context) Proc { return procFunc{} })
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		id := net.ctxs[v].ID()
+		if id < 0 || id >= int64(n) {
+			t.Fatalf("ID %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	// Different from identity for some node (overwhelmingly likely).
+	identity := true
+	for v := 0; v < n; v++ {
+		if net.ctxs[v].ID() != int64(v) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("ID permutation is the identity; suspicious")
+	}
+}
+
+func TestPerNodeRandDeterministic(t *testing.T) {
+	mk := func() []int64 {
+		net := NewNetwork(lineGraph(10), Options{Seed: 5}, func(ctx *Context) Proc { return procFunc{} })
+		out := make([]int64, 10)
+		for v := 0; v < 10; v++ {
+			out[v] = net.ctxs[v].Rand().Int63()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d rand differs across identical runs", i)
+		}
+	}
+	// Neighboring nodes draw different streams.
+	if a[0] == a[1] {
+		t.Fatal("adjacent nodes share a random stream")
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	// The same protocol must produce identical outputs with 1 worker and
+	// many workers.
+	run := func(par int) []int {
+		n := 64
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.AddEdge(v, (v+1)%n)
+			b.AddEdge(v, (v+7)%n)
+		}
+		net := NewNetwork(b.Build(), Options{Seed: 9, Parallelism: par}, func(ctx *Context) Proc {
+			return &echoProc{}
+		})
+		if err := net.RunPhase("echo"); err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for v := 0; v < n; v++ {
+			out = append(out, net.Proc(v).(*echoProc).heard...)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("different totals %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output differs at %d with different parallelism", i)
+		}
+	}
+}
+
+func TestDefaultFrameBits(t *testing.T) {
+	// B(n) = 4⌈log₂(n+1)⌉ + 16; ⌈log₂ 1025⌉ = 11.
+	if b := DefaultFrameBits(1024); b != 4*11+16 {
+		t.Fatalf("B(1024)=%d, want 60", b)
+	}
+	if b := DefaultFrameBits(1); b != 4*1+16 {
+		t.Fatalf("B(1)=%d", b)
+	}
+	// Budget grows logarithmically.
+	if DefaultFrameBits(1<<20) >= 2*DefaultFrameBits(1<<10) {
+		t.Fatal("frame budget growing superlogarithmically")
+	}
+}
+
+func TestMetricsBitsAccounting(t *testing.T) {
+	g := lineGraph(2)
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc {
+		return procFunc{start: func(ctx *Context) {
+			if ctx.Index() == 0 {
+				ctx.Send(1, intMsg{})
+				ctx.Send(1, intMsg{})
+				ctx.Send(1, intMsg{})
+			}
+		}}
+	})
+	if err := net.RunPhase("count"); err != nil {
+		t.Fatal(err)
+	}
+	m := net.Metrics()
+	if m.Frames != 3 || m.Bits != 48 || m.MaxFrameBits != 16 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.Rounds != 3 {
+		t.Fatalf("rounds=%d (3 frames on one edge)", m.Rounds)
+	}
+}
+
+func TestIsolatedNodesNetwork(t *testing.T) {
+	g := graph.NewBuilder(5).Build() // no edges
+	net := NewNetwork(g, Options{Seed: 1}, func(ctx *Context) Proc { return &echoProc{} })
+	if err := net.RunPhase("noop"); err != nil {
+		t.Fatal(err)
+	}
+	if net.Rounds() != 0 {
+		t.Fatalf("rounds=%d on edgeless graph", net.Rounds())
+	}
+}

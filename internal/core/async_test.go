@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nearclique/internal/gen"
+)
+
+// TestAsyncEqualsSyncEqualsSequential validates the paper's §2 remark via
+// Awerbuch's synchronizer: the full DistNearClique protocol, run on the
+// asynchronous executor with random message delays, produces outputs
+// bit-for-bit identical to the synchronous executor — which in turn equals
+// the sequential reference.
+func TestAsyncEqualsSyncEqualsSequential(t *testing.T) {
+	graphs := []struct {
+		name string
+		mk   func() *gen.Planted
+	}{
+		{"planted", func() *gen.Planted {
+			p := gen.PlantedNearClique(70, 22, 0.02, 0.05, 4)
+			return &p
+		}},
+		{"planted-dense", func() *gen.Planted {
+			p := gen.PlantedClique(50, 18, 0.1, 9)
+			return &p
+		}},
+	}
+	for _, tc := range graphs {
+		g := tc.mk().Graph
+		for seed := int64(0); seed < 3; seed++ {
+			opts := defaultOpts(seed)
+			syncRes, err := Find(g, opts)
+			if err != nil {
+				t.Fatalf("%s seed %d sync: %v", tc.name, seed, err)
+			}
+			asyncOpts := opts
+			asyncOpts.Async = true
+			asyncOpts.AsyncMaxDelay = 4
+			asyncRes, err := Find(g, asyncOpts)
+			if err != nil {
+				t.Fatalf("%s seed %d async: %v", tc.name, seed, err)
+			}
+			seqRes, err := FindSequential(g, opts)
+			if err != nil {
+				t.Fatalf("%s seed %d seq: %v", tc.name, seed, err)
+			}
+			equalResults(t, syncRes, asyncRes, fmt.Sprintf("%s seed %d sync-vs-async", tc.name, seed))
+			equalResults(t, asyncRes, seqRes, fmt.Sprintf("%s seed %d async-vs-seq", tc.name, seed))
+
+			m := asyncRes.Metrics
+			if m.AsyncAcks == 0 || m.AsyncSafes == 0 || m.AsyncVirtualTime == 0 {
+				t.Fatalf("%s seed %d: synchronizer overhead not recorded: %+v", tc.name, seed, m)
+			}
+			// The synchronizer's ack overhead is one ack per protocol frame.
+			if m.AsyncAcks != m.Frames {
+				t.Fatalf("%s seed %d: acks %d ≠ frames %d", tc.name, seed, m.AsyncAcks, m.Frames)
+			}
+		}
+	}
+}
+
+func TestAsyncBoostedRun(t *testing.T) {
+	p := gen.PlantedClique(60, 20, 0.05, 3)
+	opts := defaultOpts(1)
+	opts.Versions = 2
+	opts.Async = true
+	asyncRes, err := Find(p.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Async = false
+	syncRes, err := Find(p.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, syncRes, asyncRes, "boosted async")
+}
+
+func TestAsyncDelayIndependence(t *testing.T) {
+	// Protocol outputs must not depend on the delay distribution — only
+	// costs may change.
+	p := gen.PlantedNearClique(60, 20, 0.02, 0.05, 8)
+	var prev *Result
+	for _, maxDelay := range []int{1, 3, 9} {
+		opts := defaultOpts(2)
+		opts.Async = true
+		opts.AsyncMaxDelay = maxDelay
+		res, err := Find(p.Graph, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			equalResults(t, prev, res, fmt.Sprintf("maxDelay %d", maxDelay))
+		}
+		prev = res
+	}
+}

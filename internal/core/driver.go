@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/graph"
+)
+
+// driver orchestrates the phases of Algorithm DistNearClique over a
+// congest.Network. Nodes read the current phase and version through their
+// back-pointer; the driver mutates them only between phases, when the
+// network is quiescent.
+type driver struct {
+	g       *graph.Graph
+	opts    Options
+	wire    wire
+	net     *congest.Network
+	nodes   []*node
+	phase   int
+	version int
+}
+
+// Find runs the distributed algorithm on g and returns the labeled
+// near-cliques. On ErrRoundLimit or ErrComponentTooLarge the returned
+// Result still carries the metrics accumulated so far with all-⊥ labels
+// (the paper's abort wrapper).
+func Find(g *graph.Graph, opts Options) (*Result, error) {
+	opts, err := opts.validated(g.N())
+	if err != nil {
+		return nil, err
+	}
+	d := &driver{g: g, opts: opts}
+	frameBits := congest.DefaultFrameBits(g.N())
+	d.wire = newWire(g.N(), opts.Versions, frameBits)
+	maxK := opts.MaxComponentSize
+	if g.N() < maxK {
+		maxK = g.N() // components can never exceed n
+	}
+	if need := d.wire.minFrameBits(maxK); need > frameBits {
+		// Cannot happen with the default budget and admissible component
+		// caps, but guard custom configurations explicitly.
+		return nil, fmt.Errorf("core: frame budget %d bits below the %d required", frameBits, need)
+	}
+	d.nodes = make([]*node, g.N())
+	d.net = congest.NewNetwork(g, congest.Options{
+		Seed:          opts.Seed,
+		FrameBits:     frameBits,
+		MaxRounds:     opts.MaxRounds,
+		Parallelism:   opts.Parallelism,
+		Async:         opts.Async,
+		AsyncMaxDelay: opts.AsyncMaxDelay,
+	}, func(ctx *congest.Context) congest.Proc {
+		nd := newNode(d, ctx)
+		d.nodes[ctx.Index()] = nd
+		return nd
+	})
+
+	res := &Result{
+		Labels:      make([]int64, g.N()),
+		SampleSizes: make([]int, opts.Versions),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = NoLabel
+	}
+
+	abort := func(err error) (*Result, error) {
+		res.Metrics = d.net.Metrics()
+		return res, err
+	}
+
+	explorationPhases := []int{
+		phaseSample, phaseBFS, phaseClaim, phaseCompUp, phaseCompDown,
+		phaseShare, phaseLeafClaim, phaseKBits, phaseKSum, phaseKDown,
+		phaseTSum, phaseAnnounce,
+	}
+	for v := 0; v < opts.Versions; v++ {
+		d.version = v
+		for _, ph := range explorationPhases {
+			d.phase = ph
+			if err := d.net.RunPhase(fmt.Sprintf("v%d/%s", v, phaseNames[ph])); err != nil {
+				return abort(err)
+			}
+			switch ph {
+			case phaseSample:
+				res.SampleSizes[v] = d.sampleSize(v)
+			case phaseCompDown:
+				if size := d.largestComponent(v); size > res.MaxComponent {
+					res.MaxComponent = size
+				}
+				if res.MaxComponent > opts.MaxComponentSize {
+					return abort(fmt.Errorf("%w: %d > %d (lower the sampling probability)",
+						ErrComponentTooLarge, res.MaxComponent, opts.MaxComponentSize))
+				}
+			}
+		}
+	}
+	for _, ph := range []int{phaseVote, phaseCommit} {
+		d.phase = ph
+		if err := d.net.RunPhase(phaseNames[ph]); err != nil {
+			return abort(err)
+		}
+	}
+
+	// Extract outputs.
+	for i, nd := range d.nodes {
+		res.Labels[i] = nd.label
+	}
+	res.Candidates = finalizeCandidates(g, d.collectCandidates(res.Labels))
+	res.Metrics = d.net.Metrics()
+	return res, nil
+}
+
+func (d *driver) sampleSize(v int) int {
+	count := 0
+	for _, nd := range d.nodes {
+		if nd.vers[v] != nil && nd.vers[v].inS {
+			count++
+		}
+	}
+	return count
+}
+
+func (d *driver) largestComponent(v int) int {
+	max := 0
+	for _, nd := range d.nodes {
+		vs := nd.vers[v]
+		if vs != nil && vs.inS && vs.parent == noParent && len(vs.compMembers) > max {
+			max = len(vs.compMembers)
+		}
+	}
+	return max
+}
+
+// collectCandidates scans committed roots and groups members by label.
+func (d *driver) collectCandidates(labels []int64) []Candidate {
+	var cands []Candidate
+	for _, nd := range d.nodes {
+		for v, vs := range nd.vers {
+			if vs == nil || !vs.inS || vs.parent != noParent {
+				continue
+			}
+			cv := vs.comps[vs.rootIdx]
+			if cv == nil || !cv.committed {
+				continue
+			}
+			label := cv.rootID*int64(d.opts.Versions) + int64(v)
+			var members []int
+			for i, l := range labels {
+				if l == label {
+					members = append(members, i)
+				}
+			}
+			cands = append(cands, Candidate{
+				Label:   label,
+				Version: v,
+				Members: members,
+				SubsetX: decodeSubset(cv.members, cv.bStar),
+			})
+		}
+	}
+	return cands
+}
+
+// decodeSubset expands a subset index over the sorted member list.
+func decodeSubset(members []int32, b int32) []int {
+	var out []int
+	for i := 0; i < len(members); i++ {
+		if b&(1<<uint(i)) != 0 {
+			out = append(out, int(members[i]))
+		}
+	}
+	return out
+}

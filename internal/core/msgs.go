@@ -1,0 +1,236 @@
+package core
+
+// Frame types for Algorithm DistNearClique. Every frame must fit the
+// CONGEST per-message budget B(n); large logical payloads (component ID
+// lists, 2^|Si|-bit membership vectors, count vectors) are chunked and the
+// simulator pipelines one frame per edge per round.
+//
+// Bit sizes are computed semantically at construction via the wire sizing
+// table: idBits for a node index or protocol ID, cntBits for a counter
+// bounded by n, verBits for a boosting version number, k bits for a subset
+// index of a size-k component.
+
+// wire holds the field-width table for a given network size.
+type wire struct {
+	idBits    int
+	cntBits   int
+	verBits   int
+	frameBits int
+}
+
+func newWire(n, versions, frameBits int) wire {
+	return wire{
+		idBits:    bitsFor(n),
+		cntBits:   bitsFor(n + 1),
+		verBits:   bitsFor(versions),
+		frameBits: frameBits,
+	}
+}
+
+// bitsFor returns the bits needed to address x distinct values (≥1).
+func bitsFor(x int) int {
+	b := 1
+	for 1<<uint(b) < x {
+		b++
+	}
+	return b
+}
+
+// chunkHeaderBits is the header of a stream chunk: component root (idBits)
+// + subset offset (k bits) + length field (6 bits: chunk payloads ≤ 64).
+func (w wire) chunkHeaderBits(k int) int { return w.idBits + k + 6 }
+
+// bitChunkCap returns how many membership bits fit in one frame for a
+// size-k component (at most 64; they are carried in a uint64).
+func (w wire) bitChunkCap(k int) int {
+	c := w.frameBits - w.chunkHeaderBits(k)
+	if c < 1 {
+		c = 1
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// cntChunkCap returns how many counters fit in one frame for a size-k
+// component.
+func (w wire) cntChunkCap(k int) int {
+	c := (w.frameBits - w.chunkHeaderBits(k)) / w.cntBits
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// minFrameBits returns the budget needed so every fixed-size frame and at
+// least a one-unit chunk fits, for the largest admissible component size.
+func (w wire) minFrameBits(maxK int) int {
+	need := 2*w.idBits + w.cntBits // bfsOffer / shareStart
+	if a := 2*w.idBits + w.verBits + w.cntBits; a > need {
+		need = a // announce
+	}
+	if c := w.chunkHeaderBits(maxK) + w.cntBits; c > need {
+		need = c // one-counter chunk
+	}
+	if c := w.idBits + w.verBits + maxK; c > need {
+		need = c // commit carries a subset index
+	}
+	return need
+}
+
+// frame provides the common BitLen implementation; the width is fixed at
+// construction.
+type frame struct{ w uint16 }
+
+func (f frame) BitLen() int { return int(f.w) }
+
+// msgSampled announces membership in the sample S to all neighbors.
+type msgSampled struct{ frame }
+
+func (w wire) sampled() msgSampled { return msgSampled{frame{1}} }
+
+// msgBFSOffer carries a root-election/BFS offer on G[S].
+type msgBFSOffer struct {
+	frame
+	rootID  int64
+	rootIdx int32
+	dist    int32
+}
+
+func (w wire) bfsOffer(rootID int64, rootIdx, dist int32) msgBFSOffer {
+	return msgBFSOffer{frame{uint16(2*w.idBits + w.cntBits)}, rootID, rootIdx, dist}
+}
+
+// msgTreeClaim tells the BFS parent it has a tree child.
+type msgTreeClaim struct{ frame }
+
+func (w wire) treeClaim() msgTreeClaim { return msgTreeClaim{frame{1}} }
+
+// msgCompID streams one component-member index (up in compUp, down in
+// compDown).
+type msgCompID struct {
+	frame
+	idx int32
+}
+
+func (w wire) compID(idx int32) msgCompID { return msgCompID{frame{uint16(w.idBits)}, idx} }
+
+// msgCompDone terminates a compUp/compDown ID stream.
+type msgCompDone struct{ frame }
+
+func (w wire) compDone() msgCompDone { return msgCompDone{frame{1}} }
+
+// msgShareStart opens a Comp(v) share stream: component root and size.
+type msgShareStart struct {
+	frame
+	rootIdx int32
+	rootID  int64
+	size    int32
+}
+
+func (w wire) shareStart(rootIdx int32, rootID int64, size int32) msgShareStart {
+	return msgShareStart{frame{uint16(2*w.idBits + w.cntBits)}, rootIdx, rootID, size}
+}
+
+// msgShareID streams one member of Comp(v) to a neighbor.
+type msgShareID struct {
+	frame
+	rootIdx int32
+	idx     int32
+}
+
+func (w wire) shareID(rootIdx, idx int32) msgShareID {
+	return msgShareID{frame{uint16(2 * w.idBits)}, rootIdx, idx}
+}
+
+// msgLeafClaim registers a non-sampled participant with its chosen parent
+// in Si (so convergecasts neither miss nor double-count it).
+type msgLeafClaim struct {
+	frame
+	rootIdx int32
+}
+
+func (w wire) leafClaim(rootIdx int32) msgLeafClaim {
+	return msgLeafClaim{frame{uint16(w.idBits)}, rootIdx}
+}
+
+// msgBitChunk streams consecutive subset-membership bits (K bits in the
+// kbits phase, T bits in the tsum phase), starting at subset index offset.
+type msgBitChunk struct {
+	frame
+	rootIdx int32
+	offset  int32
+	count   uint8
+	bits    uint64
+}
+
+func (w wire) bitChunk(k int, rootIdx, offset int32, count int, bits uint64) msgBitChunk {
+	return msgBitChunk{frame{uint16(w.chunkHeaderBits(k) + count)}, rootIdx, offset, uint8(count), bits}
+}
+
+// msgCntChunk streams consecutive counters (partial sums in ksum/tsum
+// convergecasts, |K| values in the kdown broadcast).
+type msgCntChunk struct {
+	frame
+	rootIdx int32
+	offset  int32
+	vals    []int32
+}
+
+func (w wire) cntChunk(k int, rootIdx, offset int32, vals []int32) msgCntChunk {
+	return msgCntChunk{frame{uint16(w.chunkHeaderBits(k) + len(vals)*w.cntBits)}, rootIdx, offset, vals}
+}
+
+// msgAnnounce carries |T_ε(X(Si))| from the root to all of Si ∪ Γ(Si)
+// (decision step 2).
+type msgAnnounce struct {
+	frame
+	rootIdx int32
+	version int32
+	rootID  int64
+	size    int32
+}
+
+func (w wire) announce(rootIdx, version int32, rootID int64, size int32) msgAnnounce {
+	return msgAnnounce{frame{uint16(2*w.idBits + w.verBits + w.cntBits)}, rootIdx, version, rootID, size}
+}
+
+// msgVote is a participant's acknowledge (ack=true) or abort (ack=false)
+// for one candidate, sent to its parent in that component (decision step 3).
+type msgVote struct {
+	frame
+	rootIdx int32
+	version int32
+	ack     bool
+}
+
+func (w wire) vote(rootIdx, version int32, ack bool) msgVote {
+	return msgVote{frame{uint16(w.idBits + w.verBits + 1)}, rootIdx, version, ack}
+}
+
+// msgVoteUp aggregates a subtree's votes toward the root: abort=true if any
+// abort was seen below.
+type msgVoteUp struct {
+	frame
+	rootIdx int32
+	version int32
+	abort   bool
+}
+
+func (w wire) voteUp(rootIdx, version int32, abort bool) msgVoteUp {
+	return msgVoteUp{frame{uint16(w.idBits + w.verBits + 1)}, rootIdx, version, abort}
+}
+
+// msgCommit broadcasts the winning subset X(Si) (as its k-bit index) to the
+// surviving component (decision step 4).
+type msgCommit struct {
+	frame
+	rootIdx int32
+	version int32
+	bStar   int32
+}
+
+func (w wire) commit(k int, rootIdx, version, bStar int32) msgCommit {
+	return msgCommit{frame{uint16(w.idBits + w.verBits + k)}, rootIdx, version, bStar}
+}

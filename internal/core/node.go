@@ -1,0 +1,970 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+)
+
+// Protocol phases, in execution order. Phases sample..announce run once
+// per boosting version; vote and commit run once at the end over all
+// versions' candidates (Section 4.1's boosting wrapper: "a single decision
+// stage is run").
+const (
+	phaseSample = iota
+	phaseBFS
+	phaseClaim
+	phaseCompUp
+	phaseCompDown
+	phaseShare
+	phaseLeafClaim
+	phaseKBits
+	phaseKSum
+	phaseKDown
+	phaseTSum
+	phaseAnnounce
+	phaseVote
+	phaseCommit
+)
+
+var phaseNames = []string{
+	"sample", "bfs", "claim", "compup", "compdown", "share", "leafclaim",
+	"kbits", "ksum", "kdown", "tsum", "announce", "vote", "commit",
+}
+
+const noParent = int32(-1)
+
+// node is the per-processor protocol state.
+type node struct {
+	d   *driver
+	ctx *congest.Context
+
+	vers []*versionState
+
+	// cands are the announced candidates adjacent to this node, collected
+	// across versions for the single decision stage.
+	cands map[candKey]candInfo
+
+	label int64
+}
+
+// versionState is one boosting version's exploration state.
+type versionState struct {
+	inS   bool
+	sNbrs []int32 // sampled neighbors (ascending, by delivery order)
+
+	// BFS / tree state (sampled nodes only).
+	rootID   int64
+	rootIdx  int32
+	dist     int32
+	parent   int32
+	children []int32
+
+	// Component discovery (sampled nodes only).
+	compMembers []int32 // complete sorted member list after compDown
+	upDone      int     // children that finished their compUp streams
+
+	// comps holds one view per adjacent component (non-sampled nodes may
+	// have several; sampled nodes exactly one — their own).
+	comps map[int32]*compView
+}
+
+// compView is everything a participant knows about one component Si.
+type compView struct {
+	rootIdx int32
+	rootID  int64
+	size    int32 // |Si|
+	members []int32
+	k       int // == |Si| once members are complete
+
+	isTreeNode bool
+	parent     int32 // tree parent (tree nodes) or parent^{Si} (leaves)
+
+	informer  int32   // which S-neighbor's share stream we accept
+	sNbrsHere []int32 // neighbors in Si (share senders)
+	claimants []int32 // tree nodes: adjacent non-sampled nodes that claimed us
+
+	// Exploration state. Vectors are indexed by subset index b ∈ [1, 2^k).
+	kbits  *bitset.Set // own membership in K_{2ε²}(X_b)
+	nbrK   []int32     // Σ over neighbors of their K bits (freed after kdown)
+	claimK []int32     // Σ over claimants of their K bits (freed after ksum)
+	tbits  *bitset.Set // own membership in T_ε(X_b)
+
+	// Convergecast machinery (tree nodes; reused for ksum then tsum).
+	acc      []int32 // accumulated sums
+	inCursor []int32 // next expected coordinate per input stream
+	inIndex  map[int32]int
+	emitCur  int32
+	downCur  int32 // kdown processing cursor
+
+	// Root-only results.
+	kcounts       []int32
+	tcounts       []int32
+	bStar         int32
+	announcedSize int32
+	committed     bool
+
+	// Decision bookkeeping.
+	votesNeeded int
+	votesGot    int
+	abortSeen   bool
+	voteDone    bool
+}
+
+var _ congest.Proc = (*node)(nil)
+
+func newNode(d *driver, ctx *congest.Context) *node {
+	return &node{
+		d:     d,
+		ctx:   ctx,
+		vers:  make([]*versionState, d.opts.Versions),
+		cands: make(map[candKey]candInfo),
+		label: NoLabel,
+	}
+}
+
+// vs returns the state of the version currently being explored.
+func (nd *node) vs() *versionState { return nd.vers[nd.d.version] }
+
+// PhaseStart implements congest.Proc.
+func (nd *node) PhaseStart(ctx *congest.Context) {
+	switch nd.d.phase {
+	case phaseSample:
+		nd.startSample(ctx)
+	case phaseBFS:
+		nd.startBFS(ctx)
+	case phaseClaim:
+		nd.startClaim(ctx)
+	case phaseCompUp:
+		nd.startCompUp(ctx)
+	case phaseCompDown:
+		nd.startCompDown(ctx)
+	case phaseShare:
+		nd.startShare(ctx)
+	case phaseLeafClaim:
+		nd.startLeafClaim(ctx)
+	case phaseKBits:
+		nd.startKBits(ctx)
+	case phaseKSum:
+		nd.startKSum(ctx)
+	case phaseKDown:
+		nd.startKDown(ctx)
+	case phaseTSum:
+		nd.startTSum(ctx)
+	case phaseAnnounce:
+		nd.startAnnounce(ctx)
+	case phaseVote:
+		nd.startVote(ctx)
+	case phaseCommit:
+		nd.startCommit(ctx)
+	}
+}
+
+// Recv implements congest.Proc.
+func (nd *node) Recv(ctx *congest.Context, from congest.NodeID, msg congest.Message) {
+	switch m := msg.(type) {
+	case msgSampled:
+		vs := nd.vs()
+		vs.sNbrs = append(vs.sNbrs, int32(from))
+	case msgBFSOffer:
+		nd.recvOffer(ctx, from, m)
+	case msgTreeClaim:
+		vs := nd.vs()
+		vs.children = append(vs.children, int32(from))
+	case msgCompID:
+		nd.recvCompID(ctx, m)
+	case msgCompDone:
+		nd.recvCompDone(ctx)
+	case msgShareStart:
+		nd.recvShareStart(from, m)
+	case msgShareID:
+		nd.recvShareID(from, m)
+	case msgLeafClaim:
+		cv := nd.vs().comps[m.rootIdx]
+		cv.claimants = append(cv.claimants, int32(from))
+	case msgBitChunk:
+		nd.recvBitChunk(ctx, from, m)
+	case msgCntChunk:
+		nd.recvCntChunk(ctx, from, m)
+	case msgAnnounce:
+		nd.recvAnnounce(ctx, m)
+	case msgVote:
+		nd.recvVote(ctx, m.version, m.rootIdx, !m.ack)
+	case msgVoteUp:
+		nd.recvVote(ctx, m.version, m.rootIdx, m.abort)
+	case msgCommit:
+		nd.recvCommit(ctx, m)
+	default:
+		panic(fmt.Sprintf("core: unexpected message %T in phase %s", msg, phaseNames[nd.d.phase]))
+	}
+}
+
+// --- Sampling stage ---------------------------------------------------
+
+// startSample draws the two-coin refinement of the paper's analysis
+// (Section 5.2): coin1 with probability p/2, coin2 with (p−p1)/(1−p1);
+// the node joins S iff either is heads, so Pr[v ∈ S] = p exactly.
+func (nd *node) startSample(ctx *congest.Context) {
+	vs := &versionState{parent: noParent, comps: make(map[int32]*compView)}
+	nd.vers[nd.d.version] = vs
+	p := nd.d.opts.P
+	p1 := p / 2
+	p2 := 0.0
+	if p1 < 1 {
+		p2 = (p - p1) / (1 - p1)
+	}
+	rng := ctx.Rand()
+	c1 := rng.Float64() < p1
+	c2 := rng.Float64() < p2 // always drawn, keeping coin streams aligned
+	vs.inS = c1 || c2
+	if vs.inS {
+		ctx.Broadcast(nd.d.wire.sampled())
+	}
+}
+
+// --- Exploration stage: spanning tree (step 1) ------------------------
+
+func (nd *node) startBFS(ctx *congest.Context) {
+	vs := nd.vs()
+	if !vs.inS {
+		return
+	}
+	vs.rootID = ctx.ID()
+	vs.rootIdx = int32(ctx.Index())
+	vs.dist = 0
+	vs.parent = noParent
+	nd.offerToSampledNeighbors(ctx)
+}
+
+func (nd *node) offerToSampledNeighbors(ctx *congest.Context) {
+	vs := nd.vs()
+	for _, w := range vs.sNbrs {
+		ctx.Send(congest.NodeID(w), nd.d.wire.bfsOffer(vs.rootID, vs.rootIdx, vs.dist))
+	}
+}
+
+func (nd *node) recvOffer(ctx *congest.Context, from congest.NodeID, m msgBFSOffer) {
+	vs := nd.vs()
+	if !vs.inS {
+		return
+	}
+	if m.rootID < vs.rootID || (m.rootID == vs.rootID && m.dist+1 < vs.dist) {
+		vs.rootID = m.rootID
+		vs.rootIdx = m.rootIdx
+		vs.dist = m.dist + 1
+		vs.parent = int32(from)
+		nd.offerToSampledNeighbors(ctx)
+	}
+}
+
+func (nd *node) startClaim(ctx *congest.Context) {
+	vs := nd.vs()
+	if vs.inS && vs.parent != noParent {
+		ctx.Send(congest.NodeID(vs.parent), nd.d.wire.treeClaim())
+	}
+}
+
+// --- Exploration stage: component discovery (step 2) ------------------
+
+func (nd *node) isRoot() bool {
+	vs := nd.vs()
+	return vs.inS && vs.parent == noParent
+}
+
+func (nd *node) startCompUp(ctx *congest.Context) {
+	vs := nd.vs()
+	if !vs.inS {
+		return
+	}
+	if nd.isRoot() {
+		vs.compMembers = append(vs.compMembers, int32(ctx.Index()))
+		return
+	}
+	ctx.Send(congest.NodeID(vs.parent), nd.d.wire.compID(int32(ctx.Index())))
+	if len(vs.children) == 0 {
+		ctx.Send(congest.NodeID(vs.parent), nd.d.wire.compDone())
+	}
+}
+
+func (nd *node) recvCompID(ctx *congest.Context, m msgCompID) {
+	vs := nd.vs()
+	switch nd.d.phase {
+	case phaseCompUp:
+		if nd.isRoot() {
+			vs.compMembers = append(vs.compMembers, m.idx)
+		} else {
+			ctx.Send(congest.NodeID(vs.parent), m)
+		}
+	case phaseCompDown:
+		vs.compMembers = append(vs.compMembers, m.idx)
+		for _, c := range vs.children {
+			ctx.Send(congest.NodeID(c), m)
+		}
+	default:
+		panic("core: compID outside comp phases")
+	}
+}
+
+func (nd *node) recvCompDone(ctx *congest.Context) {
+	vs := nd.vs()
+	switch nd.d.phase {
+	case phaseCompUp:
+		vs.upDone++
+		if vs.upDone == len(vs.children) && !nd.isRoot() {
+			ctx.Send(congest.NodeID(vs.parent), nd.d.wire.compDone())
+		}
+	case phaseCompDown:
+		for _, c := range vs.children {
+			ctx.Send(congest.NodeID(c), nd.d.wire.compDone())
+		}
+	default:
+		panic("core: compDone outside comp phases")
+	}
+}
+
+func (nd *node) startCompDown(ctx *congest.Context) {
+	vs := nd.vs()
+	if !nd.isRoot() {
+		return
+	}
+	sort.Slice(vs.compMembers, func(i, j int) bool { return vs.compMembers[i] < vs.compMembers[j] })
+	for _, c := range vs.children {
+		for _, m := range vs.compMembers {
+			ctx.Send(congest.NodeID(c), nd.d.wire.compID(m))
+		}
+		ctx.Send(congest.NodeID(c), nd.d.wire.compDone())
+	}
+}
+
+// --- Exploration stage: Comp(v) to all neighbors (step 3) -------------
+
+func (nd *node) startShare(ctx *congest.Context) {
+	vs := nd.vs()
+	if !vs.inS {
+		return
+	}
+	// Non-root nodes received members in root's sorted order; the root
+	// sorted its own copy. Either way compMembers is sorted.
+	cv := &compView{
+		rootIdx:    vs.rootIdx,
+		rootID:     vs.rootID,
+		size:       int32(len(vs.compMembers)),
+		members:    vs.compMembers,
+		k:          len(vs.compMembers),
+		isTreeNode: true,
+		parent:     vs.parent,
+		informer:   -1,
+	}
+	vs.comps[vs.rootIdx] = cv
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(congest.NodeID(nb), nd.d.wire.shareStart(vs.rootIdx, vs.rootID, cv.size))
+		for _, m := range vs.compMembers {
+			ctx.Send(congest.NodeID(nb), nd.d.wire.shareID(vs.rootIdx, m))
+		}
+	}
+}
+
+func (nd *node) recvShareStart(from congest.NodeID, m msgShareStart) {
+	vs := nd.vs()
+	if vs.inS {
+		// Sampled nodes are only ever adjacent to their own component.
+		return
+	}
+	cv := vs.comps[m.rootIdx]
+	if cv == nil {
+		cv = &compView{
+			rootIdx:  m.rootIdx,
+			rootID:   m.rootID,
+			size:     m.size,
+			k:        int(m.size),
+			members:  make([]int32, 0, m.size),
+			parent:   noParent,
+			informer: int32(from),
+		}
+		vs.comps[m.rootIdx] = cv
+	}
+	cv.sNbrsHere = append(cv.sNbrsHere, int32(from))
+}
+
+func (nd *node) recvShareID(from congest.NodeID, m msgShareID) {
+	vs := nd.vs()
+	if vs.inS {
+		return
+	}
+	cv := vs.comps[m.rootIdx]
+	if cv == nil || cv.informer != int32(from) {
+		return // duplicate stream from a second neighbor in the same Si
+	}
+	cv.members = append(cv.members, m.idx)
+}
+
+// startLeafClaim registers each non-sampled participant with one parent
+// per adjacent component (deterministically: its smallest S-neighbor in
+// that component; the paper allows an arbitrary choice).
+func (nd *node) startLeafClaim(ctx *congest.Context) {
+	vs := nd.vs()
+	if vs.inS {
+		return
+	}
+	for _, cv := range nd.compsOrdered() {
+		best := cv.sNbrsHere[0]
+		for _, s := range cv.sNbrsHere[1:] {
+			if s < best {
+				best = s
+			}
+		}
+		cv.parent = best
+		ctx.Send(congest.NodeID(best), nd.d.wire.leafClaim(cv.rootIdx))
+	}
+}
+
+// compsOrdered returns this version's component views sorted by root index
+// (map iteration order must never influence the protocol).
+func (nd *node) compsOrdered() []*compView {
+	vs := nd.vs()
+	out := make([]*compView, 0, len(vs.comps))
+	for _, cv := range vs.comps {
+		out = append(out, cv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rootIdx < out[j].rootIdx })
+	return out
+}
+
+// --- Exploration stage: K membership bits (steps 4a, 4b) --------------
+
+// participates reports whether this node is in Γ(Si): it has at least one
+// neighbor among the members. Only participants compute and stream bits.
+func (nd *node) participates(ctx *congest.Context, cv *compView) bool {
+	if !cv.isTreeNode {
+		return true // has an S-neighbor in Si by construction
+	}
+	self := int32(ctx.Index())
+	for _, m := range cv.members {
+		if m != self && nd.isNeighbor(ctx, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *node) isNeighbor(ctx *congest.Context, v int32) bool {
+	nbrs := ctx.Neighbors()
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+func (nd *node) startKBits(ctx *congest.Context) {
+	for _, cv := range nd.compsOrdered() {
+		nd.computeKBits(ctx, cv)
+		if !nd.participates(ctx, cv) {
+			continue
+		}
+		nd.streamBits(ctx, cv, cv.kbits, nil) // to all neighbors
+	}
+}
+
+// computeKBits evaluates u ∈ K_{2ε²}(X_b) for every subset of cv's members
+// via the O(2^k) lowest-bit DP (step 4a).
+func (nd *node) computeKBits(ctx *congest.Context, cv *compView) {
+	k := cv.k
+	self := int32(ctx.Index())
+	adj := make([]bool, k)
+	for i, m := range cv.members {
+		adj[i] = m != self && nd.isNeighbor(ctx, m)
+	}
+	cnt := kMemberCounts(k, func(i int) bool { return adj[i] })
+	eps := nd.d.opts.Epsilon
+	total := 1 << uint(k)
+	cv.kbits = bitset.New(total)
+	for b := 1; b < total; b++ {
+		if meetsK(int(cnt[b]), popcount(b), eps) {
+			cv.kbits.Add(b)
+		}
+	}
+	cv.nbrK = make([]int32, total)
+}
+
+// streamBits chunks a membership vector into frames. If to is nil the
+// chunks are broadcast to every neighbor (step 4b); otherwise they go to
+// the single destination (the tsum leaf→parent stream).
+func (nd *node) streamBits(ctx *congest.Context, cv *compView, bits *bitset.Set, to *int32) {
+	w := nd.d.wire
+	chunkCap := w.bitChunkCap(cv.k)
+	total := 1 << uint(cv.k)
+	for off := 1; off < total; off += chunkCap {
+		cnt := chunkCap
+		if off+cnt > total {
+			cnt = total - off
+		}
+		var payload uint64
+		for i := 0; i < cnt; i++ {
+			if bits.Contains(off + i) {
+				payload |= 1 << uint(i)
+			}
+		}
+		m := w.bitChunk(cv.k, cv.rootIdx, int32(off), cnt, payload)
+		if to != nil {
+			ctx.Send(congest.NodeID(*to), m)
+		} else {
+			ctx.Broadcast(m)
+		}
+	}
+}
+
+func (nd *node) recvBitChunk(ctx *congest.Context, from congest.NodeID, m msgBitChunk) {
+	vs := nd.vs()
+	cv := vs.comps[m.rootIdx]
+	if cv == nil {
+		return // not in Γ(Si): the bits are irrelevant to us (see DESIGN.md)
+	}
+	switch nd.d.phase {
+	case phaseKBits:
+		// Accumulate neighbors' K bits: nbrK[b] = |Γ(u) ∩ K_{2ε²}(X_b)|
+		// restricted to reporters, which is exactly |Γ(u) ∩ Y_b|.
+		isClaimant := cv.isTreeNode && containsInt32(cv.claimants, int32(from))
+		if isClaimant {
+			nd.ensureClaimK(cv)
+		}
+		for i := 0; i < int(m.count); i++ {
+			if m.bits&(1<<uint(i)) != 0 {
+				b := int(m.offset) + i
+				cv.nbrK[b]++
+				if isClaimant {
+					cv.claimK[b]++
+				}
+			}
+		}
+	case phaseTSum:
+		// A claimant's T bits arriving for the T-size convergecast.
+		nd.absorbStream(ctx, cv, int32(from), func(i int, _ int32) int32 {
+			if m.bits&(1<<uint(i)) != 0 {
+				return 1
+			}
+			return 0
+		}, int(m.offset), int(m.count))
+	default:
+		panic("core: bit chunk outside kbits/tsum")
+	}
+}
+
+func containsInt32(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Exploration stage: |K| convergecast and broadcast (4c, 4d) -------
+
+// initConvergecast prepares the pipelined sum machinery: base is this
+// node's own contribution (plus, for ksum, the pre-collected claimant
+// sums); inputs are the streams we must wait for.
+func (cv *compView) initConvergecast(base []int32, inputs []int32) {
+	cv.acc = base
+	cv.inIndex = make(map[int32]int, len(inputs))
+	cv.inCursor = make([]int32, len(inputs))
+	for i, in := range inputs {
+		cv.inIndex[in] = i
+		cv.inCursor[i] = 1
+	}
+	cv.emitCur = 1
+}
+
+func (nd *node) startKSum(ctx *congest.Context) {
+	for _, cv := range nd.compsOrdered() {
+		if !cv.isTreeNode {
+			continue
+		}
+		total := 1 << uint(cv.k)
+		base := make([]int32, total)
+		for b := 1; b < total; b++ {
+			if cv.kbits.Contains(b) {
+				base[b] = 1
+			}
+		}
+		if cv.claimK != nil {
+			for b := 1; b < total; b++ {
+				base[b] += cv.claimK[b]
+			}
+			cv.claimK = nil
+		}
+		// Tree children are the only asynchronous inputs: claimant K bits
+		// arrived fully during the kbits phase.
+		vs := nd.vs()
+		cv.initConvergecast(base, vs.children)
+		nd.tryEmit(ctx, cv)
+	}
+}
+
+// claimK accumulation needs the claimant list before the kbits phase; the
+// leafclaim phase guarantees that. computeKBits allocates nbrK; claimK is
+// allocated lazily here at first need.
+func (nd *node) ensureClaimK(cv *compView) {
+	if cv.claimK == nil {
+		cv.claimK = make([]int32, 1<<uint(cv.k))
+	}
+}
+
+// absorbStream integrates one input stream's consecutive coordinates into
+// acc and advances the pipelined emission. val(i, old) returns the value
+// to add for the i-th coordinate of the chunk.
+func (nd *node) absorbStream(ctx *congest.Context, cv *compView, from int32, val func(i int, old int32) int32, offset, count int) {
+	idx, ok := cv.inIndex[from]
+	if !ok {
+		panic("core: stream from unexpected input")
+	}
+	if cv.inCursor[idx] != int32(offset) {
+		panic(fmt.Sprintf("core: out-of-order stream: expected %d got %d", cv.inCursor[idx], offset))
+	}
+	for i := 0; i < count; i++ {
+		cv.acc[offset+i] += val(i, cv.acc[offset+i])
+	}
+	cv.inCursor[idx] = int32(offset + count)
+	nd.tryEmit(ctx, cv)
+}
+
+// tryEmit forwards every fully-aggregated coordinate prefix to the parent
+// (pipelined convergecast; the root just accumulates).
+func (nd *node) tryEmit(ctx *congest.Context, cv *compView) {
+	total := int32(1) << uint(cv.k)
+	ready := total
+	for _, c := range cv.inCursor {
+		if c < ready {
+			ready = c
+		}
+	}
+	if ready <= cv.emitCur {
+		return
+	}
+	if cv.parent == noParent {
+		cv.emitCur = ready
+		return
+	}
+	w := nd.d.wire
+	chunk := int32(w.cntChunkCap(cv.k))
+	for cv.emitCur < ready {
+		cnt := chunk
+		if cv.emitCur+cnt > ready {
+			cnt = ready - cv.emitCur
+		}
+		vals := make([]int32, cnt)
+		copy(vals, cv.acc[cv.emitCur:cv.emitCur+cnt])
+		ctx.Send(congest.NodeID(cv.parent), w.cntChunk(cv.k, cv.rootIdx, cv.emitCur, vals))
+		cv.emitCur += cnt
+	}
+}
+
+func (nd *node) recvCntChunk(ctx *congest.Context, from congest.NodeID, m msgCntChunk) {
+	vs := nd.vs()
+	cv := vs.comps[m.rootIdx]
+	if cv == nil {
+		panic("core: count chunk for unknown component")
+	}
+	switch nd.d.phase {
+	case phaseKSum, phaseTSum:
+		nd.absorbStream(ctx, cv, int32(from), func(i int, _ int32) int32 { return m.vals[i] }, int(m.offset), len(m.vals))
+	case phaseKDown:
+		nd.processKDownChunk(ctx, cv, m)
+	default:
+		panic("core: count chunk outside convergecast phases")
+	}
+}
+
+// startKDown: the root streams |K_{2ε²}(X_b)| down the tree and to the
+// claimants (step 4d); every participant evaluates its T membership on the
+// fly (step 4f) and tree nodes forward the stream.
+func (nd *node) startKDown(ctx *congest.Context) {
+	for _, cv := range nd.compsOrdered() {
+		if !cv.isTreeNode {
+			continue
+		}
+		if cv.parent == noParent {
+			cv.kcounts = cv.acc // convergecast result
+			cv.acc = nil
+			cv.tbits = bitset.New(1 << uint(cv.k))
+			total := 1 << uint(cv.k)
+			eps := nd.d.opts.Epsilon
+			for b := 1; b < total; b++ {
+				if cv.kbits.Contains(b) && meetsOuterK(int(cv.nbrK[b]), int(cv.kcounts[b]), eps) {
+					cv.tbits.Add(b)
+				}
+			}
+			cv.nbrK = nil
+			nd.streamCountsDown(ctx, cv, cv.kcounts)
+		} else {
+			cv.acc = nil
+			cv.tbits = bitset.New(1 << uint(cv.k))
+			cv.downCur = 1
+		}
+	}
+	// Non-tree participants also prepare to consume the downstream counts.
+	for _, cv := range nd.compsOrdered() {
+		if !cv.isTreeNode {
+			cv.tbits = bitset.New(1 << uint(cv.k))
+			cv.downCur = 1
+		}
+	}
+}
+
+func (nd *node) streamCountsDown(ctx *congest.Context, cv *compView, counts []int32) {
+	w := nd.d.wire
+	vs := nd.vs()
+	chunk := w.cntChunkCap(cv.k)
+	total := 1 << uint(cv.k)
+	dests := cv.claimants
+	if cv.isTreeNode {
+		dests = append(append([]int32{}, vs.children...), cv.claimants...)
+	}
+	for off := 1; off < total; off += chunk {
+		cnt := chunk
+		if off+cnt > total {
+			cnt = total - off
+		}
+		vals := counts[off : off+cnt]
+		for _, dst := range dests {
+			ctx.Send(congest.NodeID(dst), w.cntChunk(cv.k, cv.rootIdx, int32(off), vals))
+		}
+	}
+}
+
+func (nd *node) processKDownChunk(ctx *congest.Context, cv *compView, m msgCntChunk) {
+	if cv.downCur != m.offset {
+		panic("core: kdown stream out of order")
+	}
+	eps := nd.d.opts.Epsilon
+	for i, cnt := range m.vals {
+		b := int(m.offset) + i
+		if cv.kbits.Contains(b) && meetsOuterK(int(cv.nbrK[b]), int(cnt), eps) {
+			cv.tbits.Add(b)
+		}
+	}
+	cv.downCur += int32(len(m.vals))
+	if cv.isTreeNode {
+		// Forward to subtree and claimants.
+		vs := nd.vs()
+		for _, c := range vs.children {
+			ctx.Send(congest.NodeID(c), m)
+		}
+		for _, c := range cv.claimants {
+			ctx.Send(congest.NodeID(c), m)
+		}
+	}
+	if int(cv.downCur) == 1<<uint(cv.k) {
+		cv.nbrK = nil // everything needed from neighbors is consumed
+	}
+}
+
+// --- Decision stage: |T| convergecast (decision step 1) ----------------
+
+func (nd *node) startTSum(ctx *congest.Context) {
+	for _, cv := range nd.compsOrdered() {
+		if !cv.isTreeNode {
+			// Leaf participant: stream T bits to the component parent.
+			nd.streamBits(ctx, cv, cv.tbits, &cv.parent)
+			continue
+		}
+		total := 1 << uint(cv.k)
+		base := make([]int32, total)
+		for b := 1; b < total; b++ {
+			if cv.tbits.Contains(b) {
+				base[b] = 1
+			}
+		}
+		vs := nd.vs()
+		inputs := make([]int32, 0, len(vs.children)+len(cv.claimants))
+		inputs = append(inputs, vs.children...)
+		inputs = append(inputs, cv.claimants...)
+		cv.initConvergecast(base, inputs)
+		nd.tryEmit(ctx, cv)
+	}
+}
+
+// --- Decision stage: announce (step 2) ---------------------------------
+
+func (nd *node) startAnnounce(ctx *congest.Context) {
+	for _, cv := range nd.compsOrdered() {
+		if !cv.isTreeNode || cv.parent != noParent {
+			continue
+		}
+		cv.tcounts = cv.acc
+		cv.acc = nil
+		cv.bStar = argmaxSubset(cv.tcounts)
+		size := int32(0)
+		if cv.bStar > 0 {
+			size = cv.tcounts[cv.bStar]
+		}
+		minSize := int32(nd.d.opts.MinSize)
+		if minSize < 1 {
+			minSize = 1
+		}
+		if size < minSize {
+			continue // no candidate from this component
+		}
+		cv.announcedSize = size
+		key := candKey{rootIdx: cv.rootIdx, version: int32(nd.d.version)}
+		nd.cands[key] = candInfo{rootID: cv.rootID, size: size}
+		nd.forwardAnnounce(ctx, cv, nd.d.wire.announce(cv.rootIdx, int32(nd.d.version), cv.rootID, size))
+	}
+}
+
+func (nd *node) forwardAnnounce(ctx *congest.Context, cv *compView, m msgAnnounce) {
+	vs := nd.vers[m.version]
+	for _, c := range vs.children {
+		ctx.Send(congest.NodeID(c), m)
+	}
+	for _, c := range cv.claimants {
+		ctx.Send(congest.NodeID(c), m)
+	}
+}
+
+func (nd *node) recvAnnounce(ctx *congest.Context, m msgAnnounce) {
+	vs := nd.vers[m.version]
+	cv := vs.comps[m.rootIdx]
+	if cv == nil {
+		panic("core: announce for unknown component")
+	}
+	cv.announcedSize = m.size
+	nd.cands[candKey{rootIdx: m.rootIdx, version: m.version}] = candInfo{rootID: m.rootID, size: m.size}
+	if cv.isTreeNode {
+		nd.forwardAnnounce(ctx, cv, m)
+	}
+}
+
+// --- Decision stage: vote (step 3) --------------------------------------
+
+// bestCandidate returns the winning candidate under the paper's rule
+// (largest size, ties toward the largest root ID), iterating candidates in
+// a deterministic order.
+func (nd *node) bestCandidate() (candKey, bool) {
+	keys := make([]candKey, 0, len(nd.cands))
+	for k := range nd.cands {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].version != keys[j].version {
+			return keys[i].version < keys[j].version
+		}
+		return keys[i].rootIdx < keys[j].rootIdx
+	})
+	var best candKey
+	found := false
+	for _, k := range keys {
+		c := nd.cands[k]
+		if !found || betterCandidate(c.size, c.rootID, k.version,
+			nd.cands[best].size, nd.cands[best].rootID, best.version) {
+			best = k
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (nd *node) startVote(ctx *congest.Context) {
+	best, haveBest := nd.bestCandidate()
+	for ver, vs := range nd.vers {
+		if vs == nil {
+			continue
+		}
+		for _, cv := range orderedViews(vs) {
+			key := candKey{rootIdx: cv.rootIdx, version: int32(ver)}
+			ack := haveBest && key == best
+			if cv.isTreeNode {
+				cv.votesNeeded = len(vs.children) + len(cv.claimants)
+				if !ack {
+					cv.abortSeen = true
+				}
+				nd.maybeFinishVote(ctx, int32(ver), cv)
+			} else {
+				ctx.Send(congest.NodeID(cv.parent), nd.d.wire.vote(cv.rootIdx, int32(ver), ack))
+			}
+		}
+	}
+}
+
+func orderedViews(vs *versionState) []*compView {
+	out := make([]*compView, 0, len(vs.comps))
+	for _, cv := range vs.comps {
+		out = append(out, cv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rootIdx < out[j].rootIdx })
+	return out
+}
+
+func (nd *node) recvVote(ctx *congest.Context, version, rootIdx int32, abort bool) {
+	vs := nd.vers[version]
+	cv := vs.comps[rootIdx]
+	cv.votesGot++
+	if abort {
+		cv.abortSeen = true
+	}
+	nd.maybeFinishVote(ctx, version, cv)
+}
+
+func (nd *node) maybeFinishVote(ctx *congest.Context, version int32, cv *compView) {
+	if cv.voteDone || cv.votesGot < cv.votesNeeded {
+		return
+	}
+	cv.voteDone = true
+	if cv.parent != noParent {
+		ctx.Send(congest.NodeID(cv.parent), nd.d.wire.voteUp(cv.rootIdx, version, cv.abortSeen))
+		return
+	}
+	// Root: final decision.
+	cv.committed = cv.announcedSize > 0 && !cv.abortSeen
+}
+
+// --- Decision stage: commit (step 4) ------------------------------------
+
+// candidateLabel packs (root protocol ID, version) into a single unique
+// O(log n)-bit label so that boosted runs where the same root wins twice
+// stay distinguishable.
+func (nd *node) candidateLabel(rootID int64, version int32) int64 {
+	return rootID*int64(nd.d.opts.Versions) + int64(version)
+}
+
+func (nd *node) startCommit(ctx *congest.Context) {
+	for ver, vs := range nd.vers {
+		if vs == nil {
+			continue
+		}
+		for _, cv := range orderedViews(vs) {
+			if !cv.isTreeNode || cv.parent != noParent || !cv.committed {
+				continue
+			}
+			m := nd.d.wire.commit(cv.k, cv.rootIdx, int32(ver), cv.bStar)
+			nd.applyCommit(cv, m)
+			for _, c := range vs.children {
+				ctx.Send(congest.NodeID(c), m)
+			}
+			for _, c := range cv.claimants {
+				ctx.Send(congest.NodeID(c), m)
+			}
+		}
+	}
+}
+
+func (nd *node) recvCommit(ctx *congest.Context, m msgCommit) {
+	vs := nd.vers[m.version]
+	cv := vs.comps[m.rootIdx]
+	cv.bStar = m.bStar
+	cv.committed = true
+	nd.applyCommit(cv, m)
+	if cv.isTreeNode {
+		for _, c := range vs.children {
+			ctx.Send(congest.NodeID(c), m)
+		}
+		for _, c := range cv.claimants {
+			ctx.Send(congest.NodeID(c), m)
+		}
+	}
+}
+
+func (nd *node) applyCommit(cv *compView, m msgCommit) {
+	if cv.tbits != nil && cv.tbits.Contains(int(m.bStar)) {
+		nd.label = nd.candidateLabel(cv.rootID, m.version)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+// newTestDriver builds a driver exactly as Find does, for white-box
+// stepping through phases.
+func newTestDriver(t *testing.T, g *graph.Graph, opts Options) *driver {
+	t.Helper()
+	opts, err := opts.validated(g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &driver{g: g, opts: opts}
+	frameBits := congest.DefaultFrameBits(g.N())
+	d.wire = newWire(g.N(), opts.Versions, frameBits)
+	d.nodes = make([]*node, g.N())
+	d.net = congest.NewNetwork(g, congest.Options{Seed: opts.Seed, FrameBits: frameBits},
+		func(ctx *congest.Context) congest.Proc {
+			nd := newNode(d, ctx)
+			d.nodes[ctx.Index()] = nd
+			return nd
+		})
+	return d
+}
+
+func (d *driver) step(t *testing.T, ph int) {
+	t.Helper()
+	d.phase = ph
+	if err := d.net.RunPhase(fmt.Sprintf("test/%s", phaseNames[ph])); err != nil {
+		t.Fatalf("phase %s: %v", phaseNames[ph], err)
+	}
+}
+
+// sampleSet recomputes S from node state.
+func (d *driver) sampleSet(v int) *bitset.Set {
+	s := bitset.New(d.g.N())
+	for i, nd := range d.nodes {
+		if nd.vers[v] != nil && nd.vers[v].inS {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// TestPhaseSample: membership matches an independent coin replay and
+// sampled neighbors are learned correctly.
+func TestPhaseSample(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.15, 3)
+	d := newTestDriver(t, g, Options{Epsilon: 0.25, P: 0.2, Seed: 11})
+	d.step(t, phaseSample)
+
+	inS := d.sampleSet(0)
+	if inS.Count() == 0 {
+		t.Skip("empty sample; pick another seed")
+	}
+	for v, nd := range d.nodes {
+		vs := nd.vers[0]
+		// sNbrs must be exactly the sampled neighbors, ascending.
+		want := []int32{}
+		for _, w := range g.Neighbors(v) {
+			if inS.Contains(int(w)) {
+				want = append(want, w)
+			}
+		}
+		if len(vs.sNbrs) != len(want) {
+			t.Fatalf("node %d: sNbrs %v, want %v", v, vs.sNbrs, want)
+		}
+		for i := range want {
+			if vs.sNbrs[i] != want[i] {
+				t.Fatalf("node %d: sNbrs %v, want %v", v, vs.sNbrs, want)
+			}
+		}
+	}
+}
+
+// TestPhaseBFSTree: after bfs+claim, parents form spanning trees of the
+// components of G[S], rooted at the minimum-protocol-ID member, with BFS
+// distances.
+func TestPhaseBFSTree(t *testing.T) {
+	g := gen.PlantedClique(100, 30, 0.05, 7).Graph
+	d := newTestDriver(t, g, Options{Epsilon: 0.25, ExpectedSample: 8, Seed: 5})
+	d.step(t, phaseSample)
+	d.step(t, phaseBFS)
+	d.step(t, phaseClaim)
+
+	inS := d.sampleSet(0)
+	ids := congest.PermutedIDs(g.N(), 5)
+	for _, comp := range g.ComponentsOf(inS) {
+		// Expected root: member with minimum protocol ID.
+		rootIdx := comp[0]
+		for _, m := range comp {
+			if ids[m] < ids[rootIdx] {
+				rootIdx = m
+			}
+		}
+		compSet := bitset.FromIndices(g.N(), comp)
+		for _, m := range comp {
+			vs := d.nodes[m].vers[0]
+			if vs.rootIdx != int32(rootIdx) {
+				t.Fatalf("node %d elected root %d, want %d", m, vs.rootIdx, rootIdx)
+			}
+			dist := g.BFSDistances(rootIdx, compSet)
+			if int(vs.dist) != dist[m] {
+				t.Fatalf("node %d: dist %d, want BFS distance %d", m, vs.dist, dist[m])
+			}
+			if m == rootIdx {
+				if vs.parent != noParent {
+					t.Fatalf("root %d has parent %d", m, vs.parent)
+				}
+			} else {
+				// Parent is a sampled neighbor one hop closer to the root.
+				if !inS.Contains(int(vs.parent)) || !g.HasEdge(m, int(vs.parent)) {
+					t.Fatalf("node %d: invalid parent %d", m, vs.parent)
+				}
+				if pd := dist[vs.parent]; pd != dist[m]-1 {
+					t.Fatalf("node %d: parent at distance %d, self at %d", m, pd, dist[m])
+				}
+				// And claims were received: m must appear in its parent's
+				// children.
+				if !containsInt32(d.nodes[vs.parent].vers[0].children, int32(m)) {
+					t.Fatalf("node %d missing from parent %d's children", m, vs.parent)
+				}
+			}
+		}
+	}
+}
+
+// TestPhaseComponentDiscovery: after compUp+compDown every sampled node
+// knows its exact component, sorted.
+func TestPhaseComponentDiscovery(t *testing.T) {
+	g := gen.ErdosRenyi(120, 0.08, 9)
+	d := newTestDriver(t, g, Options{Epsilon: 0.25, ExpectedSample: 10, Seed: 8})
+	for _, ph := range []int{phaseSample, phaseBFS, phaseClaim, phaseCompUp, phaseCompDown} {
+		d.step(t, ph)
+	}
+	inS := d.sampleSet(0)
+	for _, comp := range g.ComponentsOf(inS) {
+		for _, m := range comp {
+			got := d.nodes[m].vers[0].compMembers
+			if len(got) != len(comp) {
+				t.Fatalf("node %d sees %d members, want %d", m, len(got), len(comp))
+			}
+			for i := range comp {
+				if int(got[i]) != comp[i] {
+					t.Fatalf("node %d members %v, want %v", m, got, comp)
+				}
+			}
+		}
+	}
+}
+
+// TestPhaseShareAndClaim: non-sampled participants learn each adjacent
+// component's membership and claim their smallest sampled neighbor.
+func TestPhaseShareAndClaim(t *testing.T) {
+	g := gen.PlantedClique(90, 27, 0.05, 21).Graph
+	d := newTestDriver(t, g, Options{Epsilon: 0.25, ExpectedSample: 7, Seed: 2})
+	for _, ph := range []int{phaseSample, phaseBFS, phaseClaim, phaseCompUp, phaseCompDown,
+		phaseShare, phaseLeafClaim} {
+		d.step(t, ph)
+	}
+	inS := d.sampleSet(0)
+	comps := g.ComponentsOf(inS)
+	for v, nd := range d.nodes {
+		if inS.Contains(v) {
+			continue
+		}
+		vs := nd.vers[0]
+		// Expected adjacent components.
+		adjComps := 0
+		for _, comp := range comps {
+			sNbrsHere := []int32{}
+			for _, w := range g.Neighbors(v) {
+				if inS.Contains(int(w)) && containsInt(comp, int(w)) {
+					sNbrsHere = append(sNbrsHere, w)
+				}
+			}
+			if len(sNbrsHere) == 0 {
+				continue
+			}
+			adjComps++
+			// Locate the view via any member's root.
+			root := d.nodes[comp[0]].vers[0].rootIdx
+			cv := vs.comps[root]
+			if cv == nil {
+				t.Fatalf("node %d missing view for component rooted at %d", v, root)
+			}
+			if len(cv.members) != len(comp) {
+				t.Fatalf("node %d: view has %d members, want %d", v, len(cv.members), len(comp))
+			}
+			min := sNbrsHere[0]
+			for _, s := range sNbrsHere[1:] {
+				if s < min {
+					min = s
+				}
+			}
+			if cv.parent != min {
+				t.Fatalf("node %d claimed %d, want smallest S-neighbor %d", v, cv.parent, min)
+			}
+			if !containsInt32(d.nodes[min].vers[0].comps[root].claimants, int32(v)) {
+				t.Fatalf("node %d missing from %d's claimants", v, min)
+			}
+		}
+		if adjComps != len(vs.comps) {
+			t.Fatalf("node %d has %d views, want %d", v, len(vs.comps), adjComps)
+		}
+	}
+}
+
+// TestPhaseKAndT: after the exploration stage, the root's kcounts and
+// every participant's tbits match the graph oracle restricted to the
+// voter set (= the unrestricted values, per DESIGN.md §2).
+func TestPhaseKAndT(t *testing.T) {
+	g := gen.PlantedClique(80, 26, 0.06, 31).Graph
+	eps := 0.25
+	d := newTestDriver(t, g, Options{Epsilon: eps, ExpectedSample: 7, Seed: 6})
+	for _, ph := range []int{phaseSample, phaseBFS, phaseClaim, phaseCompUp, phaseCompDown,
+		phaseShare, phaseLeafClaim, phaseKBits, phaseKSum, phaseKDown, phaseTSum} {
+		d.step(t, ph)
+	}
+	inS := d.sampleSet(0)
+	for _, comp := range g.ComponentsOf(inS) {
+		rootIdx := int(d.nodes[comp[0]].vers[0].rootIdx)
+		cv := d.nodes[rootIdx].vers[0].comps[int32(rootIdx)]
+		if cv == nil || cv.kcounts == nil {
+			t.Fatalf("root %d has no kcounts", rootIdx)
+		}
+		members := make([]int32, len(comp))
+		for i, m := range comp {
+			members[i] = int32(m)
+		}
+		k := len(comp)
+		for b := 1; b < 1<<uint(k) && b < 1<<12; b++ {
+			x := bitset.New(g.N())
+			for i := 0; i < k; i++ {
+				if b&(1<<uint(i)) != 0 {
+					x.Add(int(members[i]))
+				}
+			}
+			want := g.K(x, 2*eps*eps).Count()
+			if int(cv.kcounts[b]) != want {
+				t.Fatalf("root %d: kcounts[%b]=%d, oracle %d", rootIdx, b, cv.kcounts[b], want)
+			}
+			// T bits at every participant.
+			oracleT := g.T(x, eps)
+			for v, nd := range d.nodes {
+				vs := nd.vers[0]
+				view := vs.comps[int32(rootIdx)]
+				if view == nil || view.tbits == nil {
+					continue
+				}
+				if view.tbits.Contains(b) != oracleT.Contains(v) {
+					t.Fatalf("node %d subset %b: tbit %v, oracle %v",
+						v, b, view.tbits.Contains(b), oracleT.Contains(v))
+				}
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

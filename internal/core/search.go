@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nearclique/internal/graph"
+)
+
+// This file implements an extension suggested by the paper's related work:
+// Fischer & Newman [9] show that one can find (at enormous query cost) the
+// smallest ε for which a graph has an ε-near clique of size ρn. Here we
+// provide the practical analogue on top of DistNearClique: a monotone
+// search over the detection parameter ε that returns the smallest ε at
+// which the (boosted) algorithm reports a near-clique of the requested
+// size. It is a heuristic estimator, not the tower-of-exponents exact
+// procedure of [9] — see EXPERIMENTS.md E10 for the calibration.
+
+// SearchOptions configures SearchMinEpsilon.
+type SearchOptions struct {
+	// Rho is the required set fraction: the returned ε is the smallest at
+	// which a near-clique of ≥ Rho·n nodes is reported.
+	Rho float64
+	// ExpectedSample and Versions are passed to each probe run (versions
+	// defaults to 4: individual probes must be reliable for the search to
+	// be monotone in practice).
+	ExpectedSample float64
+	Versions       int
+	// Steps is the number of bisection steps (default 8, giving ε
+	// resolution (εMax−εMin)/2⁸).
+	Steps int
+	// EpsMin and EpsMax bound the search (defaults 0.02 and 0.45).
+	EpsMin, EpsMax float64
+	// Seed drives every probe.
+	Seed int64
+}
+
+// ErrNotFound is returned by SearchMinEpsilon when even the largest probed
+// ε reports no near-clique of the requested size.
+var ErrNotFound = errors.New("core: no near-clique of the requested size found at any probed ε")
+
+// SearchMinEpsilon bisects over ε and returns the smallest probed ε at
+// which the algorithm reports an ε-near clique of size ≥ ρn, together with
+// that run's result. Probes use FindSequential (the two implementations
+// are equivalent; the sequential one is cheaper).
+func SearchMinEpsilon(g *graph.Graph, so SearchOptions) (float64, *Result, error) {
+	if so.Rho <= 0 || so.Rho > 1 {
+		return 0, nil, fmt.Errorf("core: Rho %v outside (0, 1]", so.Rho)
+	}
+	if so.Steps <= 0 {
+		so.Steps = 8
+	}
+	if so.Versions <= 0 {
+		so.Versions = 4
+	}
+	if so.ExpectedSample <= 0 {
+		so.ExpectedSample = 6
+	}
+	if so.EpsMin <= 0 {
+		so.EpsMin = 0.02
+	}
+	if so.EpsMax <= 0 || so.EpsMax >= 0.5 {
+		so.EpsMax = 0.45
+	}
+	if so.EpsMin >= so.EpsMax {
+		return 0, nil, fmt.Errorf("core: EpsMin %v not below EpsMax %v", so.EpsMin, so.EpsMax)
+	}
+	need := int(so.Rho * float64(g.N()))
+	if need < 1 {
+		need = 1
+	}
+
+	probe := func(eps float64) (*Result, bool) {
+		res, err := FindSequential(g, Options{
+			Epsilon:        eps,
+			ExpectedSample: so.ExpectedSample,
+			Seed:           so.Seed,
+			Versions:       so.Versions,
+			MinSize:        need,
+		})
+		if err != nil {
+			return nil, false
+		}
+		best := res.Best()
+		return res, best != nil && len(best.Members) >= need &&
+			g.DensityOf(best.Members) >= 1-eps-1e-9
+	}
+
+	// The detection event is monotone in ε in expectation (larger ε only
+	// relaxes every threshold); bisect for its boundary.
+	lo, hi := so.EpsMin, so.EpsMax
+	res, ok := probe(hi)
+	if !ok {
+		return 0, nil, ErrNotFound
+	}
+	bestEps, bestRes := hi, res
+	for step := 0; step < so.Steps; step++ {
+		mid := (lo + hi) / 2
+		if r, ok := probe(mid); ok {
+			hi, bestEps, bestRes = mid, mid, r
+		} else {
+			lo = mid
+		}
+	}
+	return bestEps, bestRes, nil
+}

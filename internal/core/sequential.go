@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+	"nearclique/internal/graph"
+)
+
+// FindSequential runs the identical algorithm centrally: same coin flips
+// (per-node RNG streams derived exactly as the simulator derives them),
+// same component structure, same subset enumeration, thresholds, argmax,
+// and voting rules. Its output is bit-for-bit equal to Find's on the same
+// inputs (asserted by the equivalence tests), and it scales further
+// because no messages are simulated.
+//
+// Options.MaxRounds is ignored (there are no rounds); everything else
+// behaves as in Find.
+func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
+	opts, err := opts.validated(g.N())
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	ids := congest.PermutedIDs(n, opts.Seed)
+
+	res := &Result{
+		Labels:      make([]int64, n),
+		SampleSizes: make([]int, opts.Versions),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = NoLabel
+	}
+
+	// Persistent per-node RNGs: version j draws the (2j+1)-th and
+	// (2j+2)-th floats of each node's stream, exactly as the distributed
+	// nodes do.
+	rngs := make([]*rand.Rand, n)
+	for v := 0; v < n; v++ {
+		rngs[v] = rand.New(rand.NewSource(congest.SplitSeed(opts.Seed, int64(v))))
+	}
+
+	var comps []*seqComp
+	p1 := opts.P / 2
+	p2 := 0.0
+	if p1 < 1 {
+		p2 = (opts.P - p1) / (1 - p1)
+	}
+
+	for ver := 0; ver < opts.Versions; ver++ {
+		inS := bitset.New(n)
+		for v := 0; v < n; v++ {
+			c1 := rngs[v].Float64() < p1
+			c2 := rngs[v].Float64() < p2
+			if c1 || c2 {
+				inS.Add(v)
+			}
+		}
+		res.SampleSizes[ver] = inS.Count()
+
+		for _, members := range g.ComponentsOf(inS) {
+			if len(members) > res.MaxComponent {
+				res.MaxComponent = len(members)
+			}
+			if len(members) > opts.MaxComponentSize {
+				return res, fmt.Errorf("%w: %d > %d (lower the sampling probability)",
+					ErrComponentTooLarge, len(members), opts.MaxComponentSize)
+			}
+			sc := &seqComp{version: ver}
+			sc.members = make([]int32, len(members))
+			rootIdx, rootID := members[0], ids[members[0]]
+			for i, m := range members {
+				sc.members[i] = int32(m)
+				if ids[m] < rootID {
+					rootIdx, rootID = m, ids[m]
+				}
+			}
+			sc.rootIdx = int32(rootIdx)
+			sc.rootID = rootID
+
+			// Voters: all members plus every non-sampled neighbor of a
+			// member — exactly the tree nodes and claimants of the
+			// distributed protocol.
+			memberSet := bitset.FromIndices(n, members)
+			voters := bitset.New(n)
+			voters.Union(memberSet)
+			for _, m := range members {
+				for _, w := range g.Neighbors(m) {
+					if !inS.Contains(int(w)) {
+						voters.Add(int(w))
+					}
+				}
+			}
+			sc.voters = voters.Indices()
+			sc.voterIdx = make(map[int]int, len(sc.voters))
+			for i, u := range sc.voters {
+				sc.voterIdx[u] = i
+			}
+
+			sc.computeKT(g, opts.Epsilon)
+			sc.bStar = argmaxSubset(sc.tcounts)
+			minSize := int32(opts.MinSize)
+			if minSize < 1 {
+				minSize = 1
+			}
+			if sc.bStar > 0 && sc.tcounts[sc.bStar] >= minSize {
+				sc.size = sc.tcounts[sc.bStar]
+			}
+			comps = append(comps, sc)
+		}
+	}
+
+	// Decision stage: every voter acks its best adjacent candidate and
+	// aborts the rest; a candidate commits iff no adjacent voter aborted.
+	type voterCand struct {
+		sc  *seqComp
+		key candKey
+	}
+	adj := make(map[int][]voterCand)
+	for _, sc := range comps {
+		key := candKey{rootIdx: sc.rootIdx, version: int32(sc.version)}
+		for _, u := range sc.voters {
+			adj[u] = append(adj[u], voterCand{sc: sc, key: key})
+		}
+	}
+	acked := make(map[candKey]int) // candidate -> ack count
+	for u, cands := range adj {
+		_ = u
+		bestI := -1
+		for i, c := range cands {
+			if c.sc.size == 0 {
+				continue
+			}
+			if bestI < 0 || betterCandidate(c.sc.size, c.sc.rootID, c.key.version,
+				cands[bestI].sc.size, cands[bestI].sc.rootID, cands[bestI].key.version) {
+				bestI = i
+			}
+		}
+		if bestI >= 0 {
+			acked[cands[bestI].key]++
+		}
+	}
+
+	var out []Candidate
+	for _, sc := range comps {
+		key := candKey{rootIdx: sc.rootIdx, version: int32(sc.version)}
+		if sc.size == 0 || acked[key] != len(sc.voters) {
+			continue
+		}
+		label := sc.rootID*int64(opts.Versions) + int64(sc.version)
+		var membersOut []int
+		for i, u := range sc.voters {
+			if sc.tbits[i].Contains(int(sc.bStar)) {
+				res.Labels[u] = label
+				membersOut = append(membersOut, u)
+			}
+		}
+		out = append(out, Candidate{
+			Label:   label,
+			Version: sc.version,
+			Members: membersOut,
+			SubsetX: decodeSubset(sc.members, sc.bStar),
+		})
+	}
+	res.Candidates = finalizeCandidates(g, out)
+	return res, nil
+}
+
+// seqComp is the sequential mirror of one sampled component Si.
+type seqComp struct {
+	version  int
+	rootIdx  int32
+	rootID   int64
+	members  []int32       // sorted
+	voters   []int         // Si ∪ (Γ(Si) \ S), sorted
+	voterIdx map[int]int   // node -> index into voters
+	kbits    []*bitset.Set // per voter
+	tbits    []*bitset.Set // per voter
+	kcounts  []int32
+	tcounts  []int32
+	bStar    int32
+	size     int32 // announced |T|; 0 = no candidate
+}
+
+// computeKT fills kbits/tbits per voter and the kcounts/tcounts vectors,
+// mirroring exploration steps 4a–4f and decision step 1.
+func (sc *seqComp) computeKT(g *graph.Graph, eps float64) {
+	k := len(sc.members)
+	total := 1 << uint(k)
+	sc.kbits = make([]*bitset.Set, len(sc.voters))
+	sc.tbits = make([]*bitset.Set, len(sc.voters))
+	sc.kcounts = make([]int32, total)
+	sc.tcounts = make([]int32, total)
+
+	for i, u := range sc.voters {
+		cnt := kMemberCounts(k, func(j int) bool {
+			m := int(sc.members[j])
+			return m != u && g.HasEdge(u, m)
+		})
+		kb := bitset.New(total)
+		for b := 1; b < total; b++ {
+			if meetsK(int(cnt[b]), popcount(b), eps) {
+				kb.Add(b)
+				sc.kcounts[b]++
+			}
+		}
+		sc.kbits[i] = kb
+	}
+
+	// nbrK[b] per voter: sum of K bits over its neighbors that are voters
+	// (non-voters never hold a K bit for non-empty subsets).
+	for i, u := range sc.voters {
+		nbrK := make([]int32, total)
+		for _, w := range g.Neighbors(u) {
+			j, ok := sc.voterIdx[int(w)]
+			if !ok {
+				continue
+			}
+			sc.kbits[j].ForEach(func(b int) { nbrK[b]++ })
+		}
+		tb := bitset.New(total)
+		sc.kbits[i].ForEach(func(b int) {
+			if meetsOuterK(int(nbrK[b]), int(sc.kcounts[b]), eps) {
+				tb.Add(b)
+				sc.tcounts[b]++
+			}
+		})
+		sc.tbits[i] = tb
+	}
+}

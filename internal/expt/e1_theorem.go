@@ -1,0 +1,142 @@
+package expt
+
+import (
+	"math"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/core"
+	"nearclique/internal/gen"
+	"nearclique/internal/stats"
+)
+
+// RunE1 reproduces Theorem 2.1/5.7: plant an ε³-near clique D of size δn,
+// run the algorithm across sample sizes s = pn, and measure how often the
+// output meets the theorem's guarantees:
+//
+//	(1) D′ is a (2ε/δ)-near clique (footnote 2's simplification), and
+//	(2) |D′| ≥ (1 − 13/2·ε)·|D| − ε⁻².
+//
+// At practical ε the additive ε⁻² makes bound (2) vacuous for laptop-sized
+// n (the theorem is asymptotic); when it is below |D|/2 we substitute the
+// stricter |D′| ≥ |D|/2 and mark the row. The shape to verify: success
+// probability grows quickly with s and approaches 1 well below the
+// worst-case pn = Θ(ε⁻⁴δ⁻¹ log(ε⁻¹δ⁻¹)).
+func RunE1(cfg Config) []Table {
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 20
+	}
+	n := 500
+	grid := []struct{ eps, delta float64 }{
+		{0.15, 0.40},
+		{0.20, 0.30},
+		{0.25, 0.30},
+		{0.30, 0.25},
+	}
+	samples := []float64{4, 6, 8, 10}
+	if cfg.Quick {
+		trials = 5
+		n = 250
+		grid = grid[1:2]
+		samples = []float64{5, 8}
+	}
+
+	t := &Table{
+		ID:    "E1",
+		Title: "Theorem 5.7 guarantees on planted ε³-near cliques",
+		Note: "Paper: with an ε³-near clique of size δn present, the output is a " +
+			"(2ε/δ)-near clique of size (1−6.5ε)|D|−ε⁻² with probability Ω(1). " +
+			"Success should rise with s = pn far below the worst-case constants.",
+		Header: []string{"n", "ε", "δ", "plant ε³", "s=pn", "success", "mean |D′|/|D|",
+			"mean density(D′)", "mean precision |D′∩D|/|D′|", "density bound 1−2ε/δ", "size bound"},
+	}
+
+	for _, gpt := range grid {
+		eps, delta := gpt.eps, gpt.delta
+		plantEps := eps * eps * eps
+		dSize := int(delta * float64(n))
+		for _, s := range samples {
+			wins := 0
+			var ratios, densities, precisions []float64
+			for trial := 0; trial < trials; trial++ {
+				seed := stats.TrialSeed(cfg.Seed+101, trial)
+				inst := gen.PlantedNearClique(n, dSize, plantEps, 0.05, seed)
+				res, err := core.FindSequential(inst.Graph, core.Options{
+					Epsilon:        eps,
+					ExpectedSample: s,
+					Seed:           seed + 1,
+				})
+				if err != nil {
+					continue
+				}
+				best := res.Best()
+				if best == nil {
+					ratios = append(ratios, 0)
+					continue
+				}
+				ratio := float64(len(best.Members)) / float64(dSize)
+				ratios = append(ratios, ratio)
+				densities = append(densities, best.Density)
+				precisions = append(precisions, recallOf(best.Members, inst.D, n))
+				if meetsTheorem57(best, dSize, eps, delta) {
+					wins++
+				}
+			}
+			sizeBound, trivial := theorem57SizeBound(dSize, eps)
+			boundStr := f("%d", sizeBound)
+			if trivial {
+				boundStr = f("%d (=|D|/2, thm bound trivial)", sizeBound)
+			}
+			densityBound := 1 - 2*eps/delta
+			densityBoundStr := f("%.3f", densityBound)
+			if densityBound <= 0 {
+				densityBoundStr = "trivial"
+			}
+			t.Rows = append(t.Rows, []string{
+				f("%d", n), f("%.2f", eps), f("%.2f", delta), f("%.4f", plantEps),
+				f("%.0f", s), pct(wins, trials),
+				f("%.3f", stats.Mean(ratios)), f("%.3f", stats.Mean(densities)),
+				f("%.3f", stats.Mean(precisions)),
+				densityBoundStr, boundStr,
+			})
+		}
+	}
+	return []Table{*t}
+}
+
+// theorem57SizeBound returns the size bound of assertion (2) of Theorem
+// 5.7, substituting |D|/2 when the asymptotic bound is vacuous.
+func theorem57SizeBound(dSize int, eps float64) (bound int, trivial bool) {
+	b := (1-6.5*eps)*float64(dSize) - 1/(eps*eps)
+	half := float64(dSize) / 2
+	if b < half {
+		return int(math.Ceil(half)), true
+	}
+	return int(math.Ceil(b)), false
+}
+
+// meetsTheorem57 checks both assertions of Theorem 5.7 for one output.
+func meetsTheorem57(best *core.Candidate, dSize int, eps, delta float64) bool {
+	sizeBound, _ := theorem57SizeBound(dSize, eps)
+	if len(best.Members) < sizeBound {
+		return false
+	}
+	densityBound := 1 - 2*eps/delta
+	return best.Density >= densityBound-1e-9
+}
+
+// recallOf computes the precision |D′ ∩ D| / |D′| of an output against
+// the planted set.
+func recallOf(members []int, planted []int, n int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	d := bitset.FromIndices(n, planted)
+	hit := 0
+	for _, m := range members {
+		if d.Contains(m) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(members))
+}

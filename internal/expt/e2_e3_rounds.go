@@ -1,0 +1,141 @@
+package expt
+
+import (
+	"math"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/core"
+	"nearclique/internal/gen"
+	"nearclique/internal/stats"
+)
+
+// RunE2 reproduces Corollary 2.2: with a linear-size near-clique and
+// constant ε, δ, the algorithm runs in O(1) rounds with O(log n)-bit
+// messages. We sweep n at fixed parameters on the full distributed
+// simulator and report rounds (expected: flat, driven by 2^|S| and not by
+// n) and the largest message (expected: growing like log n).
+func RunE2(cfg Config) []Table {
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 5
+	}
+	sizes := []int{200, 400, 800, 1600}
+	if cfg.Quick {
+		trials = 2
+		sizes = []int{150, 300}
+	}
+	const (
+		eps   = 0.25
+		delta = 0.35
+		s     = 6.0
+	)
+	t := &Table{
+		ID:    "E2",
+		Title: "Rounds vs n at fixed ε, δ, s (Corollary 2.2)",
+		Note: "Paper: O(1) rounds, messages of O(log n) bits, independent of n. " +
+			"Rounds should stay in the same band as n quadruples; max frame bits " +
+			"should track the budget B(n) = Θ(log n).",
+		Header: []string{"n", "mean rounds", "rounds [min,max]", "mean |S|",
+			"max comp", "max frame bits", "budget B(n)", "success"},
+	}
+	for _, n := range sizes {
+		var rounds, samples []float64
+		maxComp, maxFrame := 0, 0
+		wins := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := stats.TrialSeed(cfg.Seed+202, trial)
+			inst := gen.PlantedNearClique(n, int(delta*float64(n)), eps*eps*eps, 0.03, seed)
+			res, err := core.Find(inst.Graph, core.Options{
+				Epsilon:        eps,
+				ExpectedSample: s,
+				Seed:           seed + 1,
+			})
+			if err != nil {
+				continue
+			}
+			rounds = append(rounds, float64(res.Metrics.Rounds))
+			samples = append(samples, float64(res.SampleSizes[0]))
+			if res.MaxComponent > maxComp {
+				maxComp = res.MaxComponent
+			}
+			if res.Metrics.MaxFrameBits > maxFrame {
+				maxFrame = res.Metrics.MaxFrameBits
+			}
+			if best := res.Best(); best != nil && len(best.Members) >= int(delta*float64(n))/2 {
+				wins++
+			}
+		}
+		rs := stats.Summarize(rounds)
+		t.Rows = append(t.Rows, []string{
+			f("%d", n), f("%.0f", rs.Mean), f("[%.0f, %.0f]", rs.Min, rs.Max),
+			f("%.1f", stats.Mean(samples)), f("%d", maxComp),
+			f("%d", maxFrame), f("%d", congest.DefaultFrameBits(n)), pct(wins, trials),
+		})
+	}
+	return []Table{*t}
+}
+
+// RunE3 reproduces Corollary 2.3: strict cliques of slightly sublinear
+// size n/log^α(log n) are found with near-certain probability in polylog
+// rounds. We plant strict cliques at that size, scale the sample slowly
+// with n, and report success and round growth.
+func RunE3(cfg Config) []Table {
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 5
+	}
+	sizes := []int{200, 400, 800}
+	alphas := []float64{0.3, 0.5}
+	if cfg.Quick {
+		trials = 2
+		sizes = []int{150, 300}
+		alphas = []float64{0.5}
+	}
+	const eps = 0.2
+	t := &Table{
+		ID:    "E3",
+		Title: "Sublinear cliques |D| = n/ln^α(ln n) (Corollary 2.3)",
+		Note: "Paper: for |D| ≥ n/log^α log n with small α the algorithm finds a " +
+			"(1−o(1))|D|-size o(1)-near clique w.p. 1−o(1) in polylog rounds. " +
+			"Expect high success with round counts growing far slower than n.",
+		Header: []string{"α", "n", "|D|", "s", "success", "mean rounds", "mean |D′|/|D|"},
+	}
+	for _, alpha := range alphas {
+		for _, n := range sizes {
+			lnln := math.Log(math.Log(float64(n)))
+			dSize := int(float64(n) / math.Pow(lnln, alpha))
+			// Sample scaled gently with n (polyloglog in the corollary).
+			s := math.Min(4+math.Log(float64(n))/2, 9)
+			wins := 0
+			var rounds, ratios []float64
+			for trial := 0; trial < trials; trial++ {
+				seed := stats.TrialSeed(cfg.Seed+303, trial)
+				inst := gen.PlantedClique(n, dSize, 0.02, seed)
+				res, err := core.Find(inst.Graph, core.Options{
+					Epsilon:        eps,
+					ExpectedSample: s,
+					Seed:           seed + 1,
+				})
+				if err != nil {
+					continue
+				}
+				rounds = append(rounds, float64(res.Metrics.Rounds))
+				best := res.Best()
+				if best == nil {
+					ratios = append(ratios, 0)
+					continue
+				}
+				ratio := float64(len(best.Members)) / float64(dSize)
+				ratios = append(ratios, ratio)
+				if ratio >= 0.75 && best.Density >= 1-eps {
+					wins++
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				f("%.1f", alpha), f("%d", n), f("%d", dSize), f("%.1f", s),
+				pct(wins, trials), f("%.0f", stats.Mean(rounds)), f("%.3f", stats.Mean(ratios)),
+			})
+		}
+	}
+	return []Table{*t}
+}

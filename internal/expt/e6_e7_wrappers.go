@@ -1,0 +1,153 @@
+package expt
+
+import (
+	"math"
+
+	"nearclique/internal/core"
+	"nearclique/internal/gen"
+	"nearclique/internal/stats"
+)
+
+// RunE6 reproduces the Section 4.1 boosting wrapper: λ independent
+// sampling+exploration stages with a single decision stage drive the
+// failure probability to (1−r)^λ at a ~λ× round cost. We pick a sample
+// size where a single version succeeds only sometimes and sweep λ.
+func RunE6(cfg Config) []Table {
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 30
+	}
+	lambdas := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		trials = 8
+		lambdas = []int{1, 4}
+	}
+	const (
+		n     = 400
+		delta = 0.35
+		eps   = 0.25
+		s     = 3.0 // deliberately small: modest single-run success
+	)
+	dSize := int(delta * n)
+
+	t := &Table{
+		ID:    "E6",
+		Title: "Boosting: success probability and round cost vs λ",
+		Note: "Paper: λ versions reduce failure to q with λ = log_{1−r} q; the " +
+			"decision stage is shared. Expect failure ≈ (1−r)^λ where r is the " +
+			"single-version success rate, and distributed rounds ≈ λ × the λ=1 rounds.",
+		Header: []string{"λ", "success", "predicted success 1−(1−r)^λ", "mean rounds (distributed)"},
+	}
+
+	// Measure single-version success rate r first (sequential, cheap).
+	successAt := func(lambda, trialCount int) (wins int) {
+		for trial := 0; trial < trialCount; trial++ {
+			seed := stats.TrialSeed(cfg.Seed+606, trial)
+			inst := gen.PlantedClique(n, dSize, 0.02, seed)
+			res, err := core.FindSequential(inst.Graph, core.Options{
+				Epsilon: eps, ExpectedSample: s, Seed: seed + 1, Versions: lambda,
+			})
+			if err != nil {
+				continue
+			}
+			if best := res.Best(); best != nil &&
+				len(best.Members) >= dSize/2 && best.Density >= 1-eps {
+				wins++
+			}
+		}
+		return wins
+	}
+	r := float64(successAt(1, trials)) / float64(trials)
+
+	// Distributed rounds at each λ (few trials; rounds are deterministic
+	// given the seed).
+	roundsAt := func(lambda int) float64 {
+		var rounds []float64
+		nTrials := 3
+		if cfg.Quick {
+			nTrials = 1
+		}
+		for trial := 0; trial < nTrials; trial++ {
+			seed := stats.TrialSeed(cfg.Seed+607, trial)
+			inst := gen.PlantedClique(n, dSize, 0.02, seed)
+			res, err := core.Find(inst.Graph, core.Options{
+				Epsilon: eps, ExpectedSample: s, Seed: seed + 1, Versions: lambda,
+			})
+			if err != nil {
+				continue
+			}
+			rounds = append(rounds, float64(res.Metrics.Rounds))
+		}
+		return stats.Mean(rounds)
+	}
+
+	for _, lambda := range lambdas {
+		wins := successAt(lambda, trials)
+		predicted := 1 - math.Pow(1-r, float64(lambda))
+		t.Rows = append(t.Rows, []string{
+			f("%d", lambda), pct(wins, trials), f("%.2f", predicted),
+			f("%.0f", roundsAt(lambda)),
+		})
+	}
+	return []Table{*t}
+}
+
+// RunE7 reproduces Lemma 5.1 (round complexity O(2^|S|)) and Lemma 5.2
+// (Pr[|S| ≤ 2pn] ≥ 1−e^{−pn/3}): sweep the expected sample size and check
+// that measured rounds scale with 2^k (k = largest component) and that the
+// sample concentrates.
+func RunE7(cfg Config) []Table {
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 10
+	}
+	samples := []float64{3, 4, 5, 6, 7, 8}
+	n := 300
+	if cfg.Quick {
+		trials = 3
+		samples = []float64{3, 5, 7}
+		n = 200
+	}
+	const (
+		eps   = 0.25
+		delta = 0.35
+	)
+	t := &Table{
+		ID:    "E7",
+		Title: "Rounds vs 2^|S| (Lemma 5.1) and sample concentration (Lemma 5.2)",
+		Note: "Paper: total rounds O(2^|S|); Pr[|S| ≤ 2pn] ≥ 1−e^{−pn/3}. Expect " +
+			"rounds/2^k to stay within a constant band while rounds grow ~2^k, " +
+			"and |S| ≤ 2s in almost every trial.",
+		Header: []string{"s=pn", "mean |S|", "Pr[|S| ≤ 2s]", "mean max comp k",
+			"mean rounds", "mean rounds/2^k"},
+	}
+	for _, s := range samples {
+		var sizes, rounds, ratios, comps []float64
+		within := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := stats.TrialSeed(cfg.Seed+707, trial)
+			inst := gen.PlantedClique(n, int(delta*float64(n)), 0.02, seed)
+			res, err := core.Find(inst.Graph, core.Options{
+				Epsilon: eps, ExpectedSample: s, Seed: seed + 1,
+			})
+			if err != nil {
+				continue
+			}
+			size := float64(res.SampleSizes[0])
+			sizes = append(sizes, size)
+			if size <= 2*s {
+				within++
+			}
+			rounds = append(rounds, float64(res.Metrics.Rounds))
+			k := res.MaxComponent
+			comps = append(comps, float64(k))
+			ratios = append(ratios, float64(res.Metrics.Rounds)/math.Pow(2, float64(k)))
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%.0f", s), f("%.1f", stats.Mean(sizes)), pct(within, trials),
+			f("%.1f", stats.Mean(comps)), f("%.0f", stats.Mean(rounds)),
+			f("%.1f", stats.Mean(ratios)),
+		})
+	}
+	return []Table{*t}
+}

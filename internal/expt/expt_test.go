@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs the whole suite in quick mode: every
+// experiment must produce at least one non-empty table without errors.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still takes seconds")
+	}
+	cfg := Config{Quick: true, Seed: 42}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("%s: row width %d ≠ header width %d", e.ID, len(row), len(tab.Header))
+					}
+				}
+				md := tab.Markdown()
+				if !strings.Contains(md, "|") {
+					t.Fatalf("%s markdown malformed", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	es, err := ByID("e1, E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].ID != "E1" || es[1].ID != "E4" {
+		t.Fatalf("ByID returned %v", es)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	all, err := ByID("")
+	if err != nil || len(all) != 12 {
+		t.Fatalf("empty selector: %d experiments, err=%v", len(all), err)
+	}
+}
+
+func TestMarkdownShape(t *testing.T) {
+	tab := Table{ID: "X", Title: "T", Note: "N", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}}
+	md := tab.Markdown()
+	for _, want := range []string{"### X — T", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

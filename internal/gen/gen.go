@@ -1,0 +1,357 @@
+// Package gen provides deterministic, seeded generators for every graph
+// family the experiments need: planted (near-)cliques, Erdős–Rényi
+// backgrounds, the shingles counterexample family of Claim 1 / Figure 1,
+// the two-cliques-plus-path impossibility construction of Section 6,
+// random geometric graphs (ad-hoc radio networks), and preferential
+// attachment graphs with an embedded community (web graphs).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nearclique/internal/graph"
+)
+
+// ErdosRenyi returns G(n, p): each pair is an edge independently with
+// probability p.
+func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Planted describes a graph with a planted dense set.
+type Planted struct {
+	Graph *graph.Graph
+	// D is the planted set, sorted by node index.
+	D []int
+	// EpsActual is the exact near-clique parameter of D as constructed:
+	// missing directed pairs / (|D|·(|D|−1)).
+	EpsActual float64
+}
+
+// PlantedNearClique returns a graph on n nodes containing a planted
+// epsIn-near clique of the given size, on a G(n, pOut) background (all
+// pairs not internal to the planted set appear with probability pOut).
+//
+// Exactly ⌊epsIn·size·(size−1)/2⌋ internal pairs are removed, so the
+// planted set is an epsIn-near clique and (up to one pair) not better.
+// Panics if size > n or size < 1.
+func PlantedNearClique(n, size int, epsIn, pOut float64, seed int64) Planted {
+	if size < 1 || size > n {
+		panic(fmt.Sprintf("gen: planted size %d out of range [1,%d]", size, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	members := rng.Perm(n)[:size]
+	inSet := make([]bool, n)
+	for _, v := range members {
+		inSet[v] = true
+	}
+
+	b := graph.NewBuilder(n)
+	// Background and cross edges.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if inSet[u] && inSet[v] {
+				continue
+			}
+			if rng.Float64() < pOut {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	// Internal edges: complete, minus a uniformly random set of exactly
+	// `remove` pairs.
+	pairs := make([][2]int, 0, size*(size-1)/2)
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			pairs = append(pairs, [2]int{members[i], members[j]})
+		}
+	}
+	remove := int(epsIn * float64(size*(size-1)) / 2)
+	if remove > len(pairs) {
+		remove = len(pairs)
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for _, pr := range pairs[remove:] {
+		b.AddEdge(pr[0], pr[1])
+	}
+
+	d := append([]int(nil), members...)
+	sortInts(d)
+	epsActual := 0.0
+	if size > 1 {
+		epsActual = float64(2*remove) / float64(size*(size-1))
+	}
+	return Planted{Graph: b.Build(), D: d, EpsActual: epsActual}
+}
+
+// PlantedClique returns a graph with a planted strict clique of the given
+// size on a G(n, pOut) background.
+func PlantedClique(n, size int, pOut float64, seed int64) Planted {
+	return PlantedNearClique(n, size, 0, pOut, seed)
+}
+
+// Shingles is the Claim 1 / Figure 1 counterexample instance: four blocks
+// C1, C2 (cliques) and I1, I2 (independent sets) with complete bipartite
+// connections (I1,C1), (C1,C2), (C2,I2). The set C = C1 ∪ C2 is a clique of
+// size ≈ δn on which the shingles algorithm provably fails.
+type Shingles struct {
+	Graph          *graph.Graph
+	C1, C2, I1, I2 []int
+	// Delta is the realized clique fraction |C1∪C2|/n after rounding.
+	Delta float64
+}
+
+// ShinglesCounterexample builds the family member G_n for the requested
+// clique fraction delta ∈ (0,1). Block sizes are rounded to keep
+// |C1|=|C2| and |I1|=|I2| with all four non-empty (n must be ≥ 8).
+func ShinglesCounterexample(n int, delta float64) Shingles {
+	if n < 8 {
+		panic("gen: shingles counterexample needs n ≥ 8")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("gen: delta must lie in (0,1)")
+	}
+	half := int(delta * float64(n) / 2)
+	if half < 1 {
+		half = 1
+	}
+	ihalf := (n - 2*half) / 2
+	if ihalf < 1 {
+		// Delta too large for this n: shrink the cliques.
+		half = (n - 2) / 2
+		ihalf = (n - 2*half) / 2
+	}
+	// Layout: C1 = [0,half), C2 = [half,2half), I1, I2 follow; any
+	// leftover node (odd remainders) joins I2.
+	c1 := seq(0, half)
+	c2 := seq(half, 2*half)
+	i1 := seq(2*half, 2*half+ihalf)
+	i2 := seq(2*half+ihalf, n)
+
+	b := graph.NewBuilder(n)
+	completeWithin(b, c1)
+	completeWithin(b, c2)
+	completeBetween(b, i1, c1)
+	completeBetween(b, c1, c2)
+	completeBetween(b, c2, i2)
+	return Shingles{
+		Graph: b.Build(),
+		C1:    c1, C2: c2, I1: i1, I2: i2,
+		Delta: float64(2*half) / float64(n),
+	}
+}
+
+// Impossibility is the Section 6 construction: a clique A of ~n/2 nodes and
+// a clique B of ~n/4 nodes joined by a path P of ~n/4 nodes. With
+// WithAEdges=false the edges inside A are deleted, flipping which clique is
+// the largest near-clique — yet no node of B can distinguish the two
+// variants in fewer than |P| rounds.
+type Impossibility struct {
+	Graph   *graph.Graph
+	A, B, P []int
+}
+
+// TwoCliquesPath builds the Section 6 impossibility instance on ≥ 8 nodes.
+// If withAEdges is false, A's internal edges are omitted (A becomes an
+// independent set) while the path attachment stays identical.
+func TwoCliquesPath(n int, withAEdges bool) Impossibility {
+	if n < 8 {
+		panic("gen: two-cliques-path needs n ≥ 8")
+	}
+	sizeA := n / 2
+	sizeB := n / 4
+	sizeP := n - sizeA - sizeB
+	a := seq(0, sizeA)
+	p := seq(sizeA, sizeA+sizeP)
+	bNodes := seq(sizeA+sizeP, n)
+
+	b := graph.NewBuilder(n)
+	if withAEdges {
+		completeWithin(b, a)
+	}
+	completeWithin(b, bNodes)
+	// Path: a[last] — p[0] — p[1] — … — p[last] — b[0].
+	prev := a[len(a)-1]
+	for _, v := range p {
+		b.AddEdge(prev, v)
+		prev = v
+	}
+	b.AddEdge(prev, bNodes[0])
+	return Impossibility{Graph: b.Build(), A: a, B: bNodes, P: p}
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, an edge between points at Euclidean distance ≤ radius. This
+// models the radio ad-hoc networks motivating dense-cluster discovery.
+// The returned positions are indexed by node.
+func RandomGeometric(n int, radius float64, seed int64) (*graph.Graph, [][2]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([][2]float64, n)
+	for i := range pos {
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	r2 := radius * radius
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := pos[u][0] - pos[v][0]
+			dy := pos[u][1] - pos[v][1]
+			if dx*dx+dy*dy <= r2 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(), pos
+}
+
+// PreferentialAttachment returns a Barabási–Albert style graph: nodes
+// arrive one at a time and attach m edges to existing nodes chosen
+// proportionally to degree (by sampling endpoints of existing edges).
+// Models web-like graphs with heavy-tailed degrees.
+func PreferentialAttachment(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		panic("gen: preferential attachment needs m ≥ 1")
+	}
+	if n < m+1 {
+		panic("gen: preferential attachment needs n ≥ m+1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// endpoints records every edge endpoint; sampling uniformly from it is
+	// degree-proportional sampling.
+	endpoints := make([]int, 0, 2*n*m)
+	// Seed: a small clique on the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		added := 0
+		for attempt := 0; added < m && attempt < 50*m; attempt++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u != v && !b.HasEdge(u, v) {
+				b.AddEdge(u, v)
+				endpoints = append(endpoints, u, v)
+				added++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// EmbedCommunity overlays a near-clique of the given size and internal
+// near-clique parameter epsIn onto an existing graph, on a random node
+// subset. Returns the modified graph and the sorted community members.
+func EmbedCommunity(g *graph.Graph, size int, epsIn float64, seed int64) (*graph.Graph, []int) {
+	n := g.N()
+	if size > n {
+		panic("gen: community larger than graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	members := rng.Perm(n)[:size]
+	b := graph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	pairs := make([][2]int, 0, size*(size-1)/2)
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			pairs = append(pairs, [2]int{members[i], members[j]})
+		}
+	}
+	remove := int(epsIn * float64(size*(size-1)) / 2)
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for i, pr := range pairs {
+		if i < remove {
+			b.RemoveEdge(pr[0], pr[1])
+		} else {
+			b.AddEdge(pr[0], pr[1])
+		}
+	}
+	out := append([]int(nil), members...)
+	sortInts(out)
+	return b.Build(), out
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Empty returns the empty graph on n nodes.
+func Empty(n int) *graph.Graph { return graph.NewBuilder(n).Build() }
+
+// Path returns the path graph 0—1—…—(n−1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v-1, v)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n ≥ 3 nodes.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle needs n ≥ 3")
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n−1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func completeWithin(b *graph.Builder, nodes []int) {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			b.AddEdge(nodes[i], nodes[j])
+		}
+	}
+}
+
+func completeBetween(b *graph.Builder, xs, ys []int) {
+	for _, u := range xs {
+		for _, v := range ys {
+			b.AddEdge(u, v)
+		}
+	}
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

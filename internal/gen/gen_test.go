@@ -1,0 +1,295 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"nearclique/internal/bitset"
+)
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 0.2, 7)
+	b := ErdosRenyi(50, 0.2, 7)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	c := ErdosRenyi(50, 0.2, 8)
+	if a.M() == c.M() && sameEdges(a.Edges(), c.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func sameEdges(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErdosRenyiEdgeCountPlausible(t *testing.T) {
+	n, p := 200, 0.1
+	g := ErdosRenyi(n, p, 3)
+	mean := p * float64(n*(n-1)) / 2
+	sd := math.Sqrt(mean * (1 - p))
+	if f := math.Abs(float64(g.M()) - mean); f > 6*sd {
+		t.Fatalf("edge count %d implausible for mean %.0f (±%.0f)", g.M(), mean, sd)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	if g := ErdosRenyi(20, 0, 1); g.M() != 0 {
+		t.Fatalf("G(n,0) has %d edges", g.M())
+	}
+	if g := ErdosRenyi(20, 1, 1); g.M() != 190 {
+		t.Fatalf("G(n,1) has %d edges, want 190", g.M())
+	}
+}
+
+func TestPlantedNearCliqueDensity(t *testing.T) {
+	for _, eps := range []float64{0, 0.1, 0.3} {
+		p := PlantedNearClique(120, 40, eps, 0.05, 11)
+		if len(p.D) != 40 {
+			t.Fatalf("planted size %d", len(p.D))
+		}
+		set := bitset.FromIndices(120, p.D)
+		if !p.Graph.IsNearClique(set, eps) {
+			t.Fatalf("eps=%v: planted set is not an ε-near clique (density %v)",
+				eps, p.Graph.Density(set))
+		}
+		// Construction removes exactly ⌊ε·k(k−1)/2⌋ pairs: density equals
+		// 1−EpsActual exactly.
+		wantDensity := 1 - p.EpsActual
+		if d := p.Graph.Density(set); math.Abs(d-wantDensity) > 1e-12 {
+			t.Fatalf("eps=%v: density %v, want exactly %v", eps, d, wantDensity)
+		}
+		if p.EpsActual > eps {
+			t.Fatalf("EpsActual %v exceeds requested %v", p.EpsActual, eps)
+		}
+	}
+}
+
+func TestPlantedCliqueIsClique(t *testing.T) {
+	p := PlantedClique(80, 20, 0.1, 5)
+	set := bitset.FromIndices(80, p.D)
+	if !p.Graph.IsClique(set) {
+		t.Fatal("planted clique is not a clique")
+	}
+}
+
+func TestPlantedSorted(t *testing.T) {
+	p := PlantedNearClique(60, 15, 0.2, 0.1, 9)
+	for i := 1; i < len(p.D); i++ {
+		if p.D[i-1] >= p.D[i] {
+			t.Fatalf("planted set not sorted: %v", p.D)
+		}
+	}
+}
+
+func TestPlantedPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size > n")
+		}
+	}()
+	PlantedNearClique(10, 11, 0.1, 0.1, 1)
+}
+
+func TestShinglesCounterexampleStructure(t *testing.T) {
+	s := ShinglesCounterexample(100, 0.5)
+	g := s.Graph
+	// Block sizes: |C1|=|C2|=25, |I1|=25, |I2|=25.
+	if len(s.C1) != 25 || len(s.C2) != 25 {
+		t.Fatalf("clique blocks %d/%d", len(s.C1), len(s.C2))
+	}
+	// C = C1 ∪ C2 must be a clique of size δn.
+	c := append(append([]int{}, s.C1...), s.C2...)
+	if !g.IsClique(bitset.FromIndices(g.N(), c)) {
+		t.Fatal("C1 ∪ C2 is not a clique")
+	}
+	// I1, I2 are independent sets.
+	for _, blk := range [][]int{s.I1, s.I2} {
+		set := bitset.FromIndices(g.N(), blk)
+		if g.EdgesWithin(set) != 0 {
+			t.Fatal("independent block has internal edges")
+		}
+	}
+	// Bipartite completeness: I1—C1.
+	for _, u := range s.I1 {
+		for _, v := range s.C1 {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("missing I1-C1 edge %d-%d", u, v)
+			}
+		}
+	}
+	// No I1—C2, no I1—I2, no I2—C1 edges.
+	for _, u := range s.I1 {
+		for _, v := range s.C2 {
+			if g.HasEdge(u, v) {
+				t.Fatalf("forbidden I1-C2 edge %d-%d", u, v)
+			}
+		}
+		for _, v := range s.I2 {
+			if g.HasEdge(u, v) {
+				t.Fatalf("forbidden I1-I2 edge %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestShinglesCase1DensityMatchesClaim(t *testing.T) {
+	// Claim 1 case 1: candidate set C1 ∪ C2 ∪ I1 has density 2δ/(1+δ)
+	// asymptotically. Verify within 5% for n=400.
+	delta := 0.5
+	s := ShinglesCounterexample(400, delta)
+	cand := append(append(append([]int{}, s.C1...), s.C2...), s.I1...)
+	d := s.Graph.DensityOf(cand)
+	want := 2 * delta / (1 + delta)
+	if math.Abs(d-want) > 0.05*want {
+		t.Fatalf("case-1 candidate density %v, claim predicts %v", d, want)
+	}
+}
+
+func TestTwoCliquesPathStructure(t *testing.T) {
+	im := TwoCliquesPath(64, true)
+	g := im.Graph
+	if !g.IsClique(bitset.FromIndices(g.N(), im.A)) {
+		t.Fatal("A not a clique")
+	}
+	if !g.IsClique(bitset.FromIndices(g.N(), im.B)) {
+		t.Fatal("B not a clique")
+	}
+	if len(im.A) != 32 || len(im.B) != 16 || len(im.P) != 16 {
+		t.Fatalf("block sizes %d/%d/%d", len(im.A), len(im.B), len(im.P))
+	}
+	// Connected, and the B-side is ≥ |P| hops from A.
+	dist := g.BFSDistances(im.A[0], nil)
+	for _, v := range im.B {
+		if dist[v] < 0 {
+			t.Fatal("graph disconnected")
+		}
+		if dist[v] < len(im.P) {
+			t.Fatalf("B node %d at distance %d < |P|=%d", v, dist[v], len(im.P))
+		}
+	}
+}
+
+func TestTwoCliquesPathVariantsDifferOnlyInA(t *testing.T) {
+	with := TwoCliquesPath(40, true)
+	without := TwoCliquesPath(40, false)
+	aset := bitset.FromIndices(40, without.A)
+	if without.Graph.EdgesWithin(aset) != 0 {
+		t.Fatal("variant without A-edges still has them")
+	}
+	// Edges outside A×A identical.
+	inA := make(map[int]bool)
+	for _, v := range with.A {
+		inA[v] = true
+	}
+	wE := map[[2]int]bool{}
+	for _, e := range with.Graph.Edges() {
+		if inA[e[0]] && inA[e[1]] {
+			continue
+		}
+		wE[e] = true
+	}
+	for _, e := range without.Graph.Edges() {
+		if !wE[e] {
+			t.Fatalf("edge %v only in the without-variant", e)
+		}
+		delete(wE, e)
+	}
+	if len(wE) != 0 {
+		t.Fatalf("%d edges missing from without-variant", len(wE))
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g, pos := RandomGeometric(100, 0.2, 13)
+	if len(pos) != 100 {
+		t.Fatalf("positions %d", len(pos))
+	}
+	for _, e := range g.Edges() {
+		dx := pos[e[0]][0] - pos[e[1]][0]
+		dy := pos[e[0]][1] - pos[e[1]][1]
+		if dx*dx+dy*dy > 0.2*0.2+1e-12 {
+			t.Fatalf("edge %v longer than radius", e)
+		}
+	}
+	// Radius √2 ⇒ complete graph.
+	g2, _ := RandomGeometric(20, 1.5, 13)
+	if g2.M() != 190 {
+		t.Fatalf("radius>√2 should be complete, M=%d", g2.M())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(200, 3, 17)
+	if g.N() != 200 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Edge count: seed clique C(4,2)=6 + ~3 per arriving node.
+	maxEdges := 6 + 3*(200-4)
+	if g.M() > maxEdges {
+		t.Fatalf("M=%d exceeds maximum %d", g.M(), maxEdges)
+	}
+	if g.M() < maxEdges*9/10 {
+		t.Fatalf("M=%d suspiciously low (attachment failing)", g.M())
+	}
+	// Heavy tail: max degree should far exceed the mean.
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / 200
+	if float64(maxDeg) < 2.5*mean {
+		t.Fatalf("degree distribution not heavy-tailed: max %d vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestEmbedCommunity(t *testing.T) {
+	base := ErdosRenyi(150, 0.03, 23)
+	g, members := EmbedCommunity(base, 30, 0.1, 29)
+	set := bitset.FromIndices(150, members)
+	if !g.IsNearClique(set, 0.1) {
+		t.Fatalf("embedded community density %v below 0.9", g.Density(set))
+	}
+	if len(members) != 30 {
+		t.Fatalf("community size %d", len(members))
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	if g := Complete(7); g.M() != 21 {
+		t.Fatalf("K7 M=%d", g.M())
+	}
+	if g := Empty(5); g.M() != 0 || g.N() != 5 {
+		t.Fatalf("empty graph wrong")
+	}
+	if g := Path(5); g.M() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatalf("path wrong")
+	}
+	if g := Cycle(5); g.M() != 5 || g.Degree(0) != 2 {
+		t.Fatalf("cycle wrong")
+	}
+	if g := Star(5); g.M() != 4 || g.Degree(0) != 4 {
+		t.Fatalf("star wrong")
+	}
+}
+
+func TestShinglesDeltaRealized(t *testing.T) {
+	for _, delta := range []float64{0.3, 0.5, 0.7} {
+		s := ShinglesCounterexample(200, delta)
+		if math.Abs(s.Delta-delta) > 0.02 {
+			t.Fatalf("requested δ=%v realized %v", delta, s.Delta)
+		}
+	}
+}

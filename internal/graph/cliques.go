@@ -1,0 +1,177 @@
+package graph
+
+import "nearclique/internal/bitset"
+
+// MaximalCliques enumerates all maximal cliques of the subgraph induced by
+// cand (nil = whole graph) using Bron–Kerbosch with pivoting, invoking fn
+// for each. fn receives a freshly allocated sorted slice. If fn returns
+// false, enumeration stops early.
+//
+// This is the local computation the "neighbors' neighbors" baseline of
+// Section 3 needs — exactly the prohibitive worst-case-exponential step the
+// paper rules out.
+func (g *Graph) MaximalCliques(cand *bitset.Set, fn func(clique []int) bool) {
+	n := g.N()
+	var p *bitset.Set
+	if cand == nil {
+		p = bitset.New(n)
+		for i := 0; i < n; i++ {
+			p.Add(i)
+		}
+	} else {
+		p = cand.Clone()
+	}
+	x := bitset.New(n)
+	r := make([]int, 0, n)
+	g.bronKerbosch(r, p, x, fn)
+}
+
+// bronKerbosch reports false when enumeration should stop.
+func (g *Graph) bronKerbosch(r []int, p, x *bitset.Set, fn func([]int) bool) bool {
+	if p.Count() == 0 && x.Count() == 0 {
+		out := make([]int, len(r))
+		copy(out, r)
+		sortInts(out)
+		return fn(out)
+	}
+	// Pivot: vertex of P ∪ X with the most neighbors in P.
+	pivot, best := -1, -1
+	consider := func(v int) {
+		d := g.rows[v].IntersectionCount(p)
+		if d > best {
+			best, pivot = d, v
+		}
+	}
+	p.ForEach(consider)
+	x.ForEach(consider)
+
+	// Candidates: P \ Γ(pivot).
+	candidates := p.Clone()
+	if pivot >= 0 {
+		candidates.Subtract(g.rows[pivot])
+	}
+	cont := true
+	candidates.ForEach(func(v int) {
+		if !cont {
+			return
+		}
+		np := p.Clone()
+		np.Intersect(g.rows[v])
+		nx := x.Clone()
+		nx.Intersect(g.rows[v])
+		if !g.bronKerbosch(append(r, v), np, nx, fn) {
+			cont = false
+			return
+		}
+		p.Remove(v)
+		x.Add(v)
+	})
+	return cont
+}
+
+// MaxClique returns a maximum clique of the subgraph induced by cand
+// (nil = whole graph) as a sorted slice. Exponential in the worst case.
+// Ties are broken toward the lexicographically smallest clique.
+func (g *Graph) MaxClique(cand *bitset.Set) []int {
+	var best []int
+	g.MaximalCliques(cand, func(c []int) bool {
+		if len(c) > len(best) || (len(c) == len(best) && lexLess(c, best)) {
+			best = c
+		}
+		return true
+	})
+	return best
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// GreedyPeel implements Charikar's greedy densest-subgraph algorithm
+// (iteratively remove a minimum-degree vertex; return the prefix maximizing
+// average degree |E(U)|/|U|). It is a centralized 2-approximation for the
+// average-degree objective and serves as a comparator in examples and
+// experiments. Returns the chosen set (sorted) and its average degree.
+func (g *Graph) GreedyPeel() ([]int, float64) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0
+	}
+	deg := make([]int, n)
+	alive := bitset.New(n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		alive.Add(v)
+	}
+	// Bucket queue over degrees for O(E + V) peeling.
+	buckets := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		d := deg[v]
+		if buckets[d] == nil {
+			buckets[d] = bitset.New(n)
+		}
+		buckets[d].Add(v)
+	}
+	edges := g.M()
+	bestDensity := avgDegree(edges, n)
+	bestSize := n
+	order := make([]int, 0, n)
+	minDeg := 0
+	for k := n; k > 1; k-- {
+		for minDeg < n && (buckets[minDeg] == nil || buckets[minDeg].Count() == 0) {
+			minDeg++
+		}
+		if minDeg >= n {
+			break
+		}
+		v := buckets[minDeg].NextSet(0)
+		buckets[minDeg].Remove(v)
+		alive.Remove(v)
+		order = append(order, v)
+		edges -= deg[v]
+		for _, w := range g.adj[v] {
+			u := int(w)
+			if !alive.Contains(u) {
+				continue
+			}
+			buckets[deg[u]].Remove(u)
+			deg[u]--
+			if buckets[deg[u]] == nil {
+				buckets[deg[u]] = bitset.New(n)
+			}
+			buckets[deg[u]].Add(u)
+			if deg[u] < minDeg {
+				minDeg = deg[u]
+			}
+		}
+		if d := avgDegree(edges, k-1); d > bestDensity {
+			bestDensity = d
+			bestSize = k - 1
+		}
+	}
+	// Reconstruct: the best set is all nodes minus the first n−bestSize
+	// peeled.
+	removed := bitset.New(n)
+	for i := 0; i < n-bestSize; i++ {
+		removed.Add(order[i])
+	}
+	out := make([]int, 0, bestSize)
+	for v := 0; v < n; v++ {
+		if !removed.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out, bestDensity
+}
+
+func avgDegree(edges, k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return float64(edges) / float64(k)
+}

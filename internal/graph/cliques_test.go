@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nearclique/internal/bitset"
+)
+
+func TestMaximalCliquesTriangle(t *testing.T) {
+	g := triangle()
+	var cliques [][]int
+	g.MaximalCliques(nil, func(c []int) bool {
+		cliques = append(cliques, c)
+		return true
+	})
+	if len(cliques) != 1 || len(cliques[0]) != 3 {
+		t.Fatalf("cliques=%v, want one triangle", cliques)
+	}
+}
+
+func TestMaximalCliquesPath(t *testing.T) {
+	// Path 0-1-2-3: maximal cliques are the 3 edges.
+	g := path(4)
+	var cliques [][]int
+	g.MaximalCliques(nil, func(c []int) bool {
+		cliques = append(cliques, c)
+		return true
+	})
+	if len(cliques) != 3 {
+		t.Fatalf("got %d cliques, want 3: %v", len(cliques), cliques)
+	}
+	for _, c := range cliques {
+		if len(c) != 2 {
+			t.Fatalf("non-edge maximal clique: %v", c)
+		}
+	}
+}
+
+func TestMaximalCliquesEmptyGraph(t *testing.T) {
+	g := NewBuilder(4).Build()
+	var cliques [][]int
+	g.MaximalCliques(nil, func(c []int) bool {
+		cliques = append(cliques, c)
+		return true
+	})
+	// Each isolated vertex is a maximal clique of size 1.
+	if len(cliques) != 4 {
+		t.Fatalf("got %d cliques, want 4 singletons: %v", len(cliques), cliques)
+	}
+}
+
+func TestMaximalCliquesEarlyStop(t *testing.T) {
+	g := path(10)
+	count := 0
+	g.MaximalCliques(nil, func(c []int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop failed: count=%d", count)
+	}
+}
+
+func TestMaximalCliquesRestricted(t *testing.T) {
+	g := complete(6)
+	cand := bitset.FromIndices(6, []int{0, 2, 4})
+	var cliques [][]int
+	g.MaximalCliques(cand, func(c []int) bool {
+		cliques = append(cliques, c)
+		return true
+	})
+	if len(cliques) != 1 || len(cliques[0]) != 3 {
+		t.Fatalf("restricted cliques=%v", cliques)
+	}
+}
+
+func TestMaxCliquePlanted(t *testing.T) {
+	// Random sparse graph plus a planted K6 must have max clique ≥ 6 and
+	// contain the planted one exactly for low background density.
+	rng := rand.New(rand.NewSource(21))
+	n := 40
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.05 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	planted := []int{3, 9, 15, 22, 30, 37}
+	for i := range planted {
+		for j := i + 1; j < len(planted); j++ {
+			b.AddEdge(planted[i], planted[j])
+		}
+	}
+	g := b.Build()
+	mc := g.MaxClique(nil)
+	if len(mc) < 6 {
+		t.Fatalf("max clique %v smaller than planted K6", mc)
+	}
+	set := bitset.FromIndices(n, mc)
+	if !g.IsClique(set) {
+		t.Fatalf("MaxClique returned a non-clique: %v", mc)
+	}
+}
+
+// Property: every enumerated maximal clique is a clique and is maximal.
+func TestMaximalCliquesAreMaximalCliques(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(18, 0.4, seed)
+		count := 0
+		g.MaximalCliques(nil, func(c []int) bool {
+			count++
+			set := bitset.FromIndices(g.N(), c)
+			if !g.IsClique(set) {
+				t.Fatalf("seed %d: non-clique %v", seed, c)
+			}
+			// Maximality: no vertex outside is adjacent to all of c.
+			for v := 0; v < g.N(); v++ {
+				if set.Contains(v) {
+					continue
+				}
+				if g.DegreeIn(v, set) == len(c) {
+					t.Fatalf("seed %d: %v not maximal, %d extends it", seed, c, v)
+				}
+			}
+			return true
+		})
+		if count == 0 {
+			t.Fatalf("seed %d: no cliques enumerated", seed)
+		}
+	}
+}
+
+// Property: no maximal clique is enumerated twice.
+func TestMaximalCliquesDistinct(t *testing.T) {
+	g := randomGraph(16, 0.5, 99)
+	seen := map[string]bool{}
+	g.MaximalCliques(nil, func(c []int) bool {
+		key := ""
+		for _, v := range c {
+			key += string(rune('A' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate clique %v", c)
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func TestGreedyPeelFindsPlantedDenseSet(t *testing.T) {
+	// Sparse background + planted K10: peel must return a set whose
+	// average degree is at least that of the planted clique core.
+	rng := rand.New(rand.NewSource(5))
+	n := 100
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.02 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	set, density := g.GreedyPeel()
+	if density < 4.5 { // K10 average degree = 4.5 edges/|U| (45/10)
+		t.Fatalf("peel density %v too small", density)
+	}
+	// The planted clique should be inside the returned set.
+	in := bitset.FromIndices(n, set)
+	for v := 0; v < 10; v++ {
+		if !in.Contains(v) {
+			t.Fatalf("planted clique member %d missing from peel set", v)
+		}
+	}
+}
+
+func TestGreedyPeelEmptyAndTiny(t *testing.T) {
+	set, d := NewBuilder(0).Build().GreedyPeel()
+	if set != nil || d != 0 {
+		t.Fatalf("empty graph peel: %v, %v", set, d)
+	}
+	set, d = NewBuilder(1).Build().GreedyPeel()
+	if len(set) != 1 || d != 0 {
+		t.Fatalf("single node peel: %v, %v", set, d)
+	}
+	// Single edge: density |E|/|U| maximized at the edge (1/2).
+	g := FromEdges(2, [][2]int{{0, 1}})
+	set, d = g.GreedyPeel()
+	if len(set) != 2 || d != 0.5 {
+		t.Fatalf("edge peel: %v, %v", set, d)
+	}
+}
+
+// Property: peel density matches the density of the returned set, and is at
+// least half the true optimum on small graphs (2-approximation), where the
+// optimum is found by brute force.
+func TestGreedyPeelTwoApprox(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(12, 0.3, seed+50)
+		set, density := g.GreedyPeel()
+		inSet := bitset.FromIndices(g.N(), set)
+		wantDensity := float64(g.EdgesWithin(inSet)) / float64(len(set))
+		if diff := density - wantDensity; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: reported density %v ≠ actual %v", seed, density, wantDensity)
+		}
+		// Brute force optimum.
+		best := 0.0
+		n := g.N()
+		for mask := 1; mask < 1<<n; mask++ {
+			s := bitset.New(n)
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					s.Add(v)
+				}
+			}
+			d := float64(g.EdgesWithin(s)) / float64(s.Count())
+			if d > best {
+				best = d
+			}
+		}
+		if density < best/2-1e-9 {
+			t.Fatalf("seed %d: peel %v < half of optimum %v", seed, density, best)
+		}
+	}
+}
+
+func TestMaxCliqueDeterministicTieBreak(t *testing.T) {
+	// Two disjoint triangles: lexicographically smaller one wins.
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	mc := g.MaxClique(nil)
+	sort.Ints(mc)
+	if len(mc) != 3 || mc[0] != 0 || mc[2] != 2 {
+		t.Fatalf("tie-break returned %v, want [0 1 2]", mc)
+	}
+}

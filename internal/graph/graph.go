@@ -1,0 +1,185 @@
+// Package graph provides the undirected-graph substrate used by the
+// near-clique algorithms: an immutable adjacency structure, the paper's
+// directed-pair density measure (Definition 1), the K_ε / T_ε operators
+// (Eqs. 1 and 2), connected components, BFS, maximal-clique enumeration,
+// and a greedy densest-subgraph baseline.
+//
+// Nodes are identified by dense indices 0..N()-1. Protocol-level unique
+// O(log n)-bit identifiers are a layer above (see internal/congest).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"nearclique/internal/bitset"
+)
+
+// Graph is an immutable simple undirected graph.
+//
+// Adjacency is stored twice: as sorted neighbor slices (for iteration) and
+// as per-node bitsets (for O(1) edge queries and fast intersection counts).
+// Construct with Builder or the helpers in this package; the zero value is
+// an empty graph with no nodes.
+type Graph struct {
+	adj  [][]int32
+	rows []*bitset.Set
+	m    int // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge. Self-loops never exist.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.rows[u].Contains(v)
+}
+
+// AdjRow returns the adjacency bitset of v. It is shared with the graph and
+// must not be modified.
+func (g *Graph) AdjRow(v int) *bitset.Set { return g.rows[v] }
+
+// DegreeIn returns |Γ(v) ∩ set|.
+func (g *Graph) DegreeIn(v int, set *bitset.Set) int {
+	return g.rows[v].IntersectionCount(set)
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Duplicate edges and self-loops are ignored.
+type Builder struct {
+	n    int
+	rows []*bitset.Set
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	rows := make([]*bitset.Set, n)
+	for i := range rows {
+		rows[i] = bitset.New(n)
+	}
+	return &Builder{n: n, rows: rows}
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+// Panics if an endpoint is out of range.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.rows[u].Add(v)
+	b.rows[v].Add(u)
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u == v || u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return false
+	}
+	return b.rows[u].Contains(v)
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (b *Builder) RemoveEdge(u, v int) {
+	if u == v || u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return
+	}
+	b.rows[u].Remove(v)
+	b.rows[v].Remove(u)
+}
+
+// Build finalizes the graph. The Builder remains usable afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		adj:  make([][]int32, b.n),
+		rows: make([]*bitset.Set, b.n),
+	}
+	total := 0
+	for v := 0; v < b.n; v++ {
+		row := b.rows[v].Clone()
+		g.rows[v] = row
+		deg := row.Count()
+		nbrs := make([]int32, 0, deg)
+		row.ForEach(func(u int) { nbrs = append(nbrs, int32(u)) })
+		g.adj[v] = nbrs
+		total += deg
+	}
+	g.m = total / 2
+	return g
+}
+
+// FromEdges builds a graph on n nodes from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Edges returns all undirected edges with u < v, sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				out = append(out, [2]int{u, int(v)})
+			}
+		}
+	}
+	return out
+}
+
+// Subgraph returns the subgraph induced by the given nodes, along with the
+// mapping from new indices to original indices. Node order is preserved
+// (sorted by original index).
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
+	keep := append([]int(nil), nodes...)
+	sort.Ints(keep)
+	// De-duplicate.
+	keep = dedupSorted(keep)
+	index := make(map[int]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, w := range g.adj[v] {
+			if j, ok := index[int(w)]; ok && j > i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), keep
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

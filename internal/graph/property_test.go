@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nearclique/internal/bitset"
+)
+
+// Property: K_0(X ∪ Y) = K_0(X) ∩ K_0(Y) — at ε = 0 membership means
+// adjacency to every element, which distributes over unions.
+func TestQuickKZeroDistributesOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(30)
+		g := randomGraph(n, 0.4, int64(trial))
+		x, y := bitset.New(n), bitset.New(n)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			x.Add(rng.Intn(n))
+			y.Add(rng.Intn(n))
+		}
+		union := x.Clone()
+		union.Union(y)
+		want := g.K(x, 0)
+		want.Intersect(g.K(y, 0))
+		got := g.K(union, 0)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: K_0(X∪Y)=%v ≠ K_0(X)∩K_0(Y)=%v", trial, got.Indices(), want.Indices())
+		}
+	}
+}
+
+// Property: K_0(X) ∩ X = ∅ for non-empty X — a node is never its own
+// neighbor, so a member can see at most |X|−1 < |X| members (this is the
+// subtlety the paper handles by defining T as K_ε(K_{2ε²}(X)) ∩ K_{2ε²}(X)
+// rather than requiring X ⊆ K(X)).
+func TestQuickKZeroExcludesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(20)
+		g := randomGraph(n, 0.5, int64(100+trial))
+		x := bitset.New(n)
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			x.Add(rng.Intn(n))
+		}
+		k := g.K(x, 0)
+		k.Intersect(x)
+		if k.Count() != 0 {
+			t.Fatalf("trial %d: K_0(X) contains members of X: %v", trial, k.Indices())
+		}
+	}
+}
+
+// Property: density is invariant under node relabeling (via Subgraph with
+// the full node set).
+func TestQuickDensityInvariantUnderSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(25)
+		g := randomGraph(n, 0.3, int64(200+trial))
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		sub, _ := g.Subgraph(nodes)
+		if sub.M() != g.M() {
+			t.Fatalf("full subgraph changed edges")
+		}
+		// Random subset: induced density equals density measured in g.
+		pick := []int{}
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				pick = append(pick, v)
+			}
+		}
+		if len(pick) < 2 {
+			continue
+		}
+		sub2, idx := g.Subgraph(pick)
+		all2 := bitset.New(sub2.N())
+		for i := 0; i < sub2.N(); i++ {
+			all2.Add(i)
+		}
+		want := g.DensityOf(idx)
+		if got := sub2.Density(all2); got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("trial %d: induced density %v ≠ %v", trial, got, want)
+		}
+	}
+}
+
+// Property (testing/quick): EdgesWithin of the full set equals M.
+func TestQuickEdgesWithinFullSet(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5 + int(uint64(seed)%40)
+		g := randomGraph(n, 0.3, seed)
+		return g.EdgesWithin(all(n)) == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: T_ε(X) is monotone in ε on the outer operator only in the
+// containment sense T ⊆ K_{2ε²}(X); and T cannot contain nodes with no
+// neighbor in K.
+func TestQuickTContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(25)
+		g := randomGraph(n, 0.45, int64(300+trial))
+		x := bitset.New(n)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			x.Add(rng.Intn(n))
+		}
+		eps := 0.05 + rng.Float64()*0.4
+		inner := g.K(x, 2*eps*eps)
+		tset := g.T(x, eps)
+		if !tset.IsSubsetOf(inner) {
+			t.Fatalf("trial %d: T ⊄ K", trial)
+		}
+		tset.ForEach(func(v int) {
+			if inner.Count() > 0 && g.DegreeIn(v, inner) == 0 && inner.Count() > 1 {
+				t.Fatalf("trial %d: T member %d has no neighbor in K of size %d",
+					trial, v, inner.Count())
+			}
+		})
+	}
+}
+
+// Property: Lemma 5.3 holds for arbitrary X on arbitrary graphs — the
+// oracle form (not just protocol outputs): T_ε(X) of size t is an
+// (nε/t)-near clique.
+func TestQuickLemma53Oracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(40)
+		g := randomGraph(n, 0.2+rng.Float64()*0.6, int64(400+trial))
+		x := bitset.New(n)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			x.Add(rng.Intn(n))
+		}
+		eps := 0.05 + rng.Float64()*0.4
+		tset := g.T(x, eps)
+		tsz := tset.Count()
+		if tsz <= 1 {
+			continue
+		}
+		bound := float64(n) * eps / float64(tsz)
+		if !g.IsNearClique(tset, bound) {
+			t.Fatalf("trial %d: Lemma 5.3 violated: n=%d t=%d ε=%v density=%v",
+				trial, n, tsz, eps, g.Density(tset))
+		}
+	}
+}

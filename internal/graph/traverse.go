@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"sort"
+
+	"nearclique/internal/bitset"
+)
+
+// Components returns the connected components of the graph, each as a sorted
+// slice of node indices. Components are ordered by their smallest node.
+func (g *Graph) Components() [][]int {
+	return g.ComponentsOf(nil)
+}
+
+// ComponentsOf returns the connected components of the subgraph induced by
+// the given node set (nil means all nodes). Edges to nodes outside the set
+// are ignored. Each component is sorted; components are ordered by their
+// smallest member.
+func (g *Graph) ComponentsOf(set *bitset.Set) [][]int {
+	n := g.N()
+	inSet := func(v int) bool { return set == nil || set.Contains(v) }
+	seen := bitset.New(n)
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if !inSet(start) || seen.Contains(start) {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, start)
+		seen.Add(start)
+		comp := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				u := int(w)
+				if inSet(u) && !seen.Contains(u) {
+					seen.Add(u)
+					comp = append(comp, u)
+					queue = append(queue, u)
+				}
+			}
+		}
+		// BFS from the smallest unseen node visits in increasing start
+		// order but the component itself may be unsorted.
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// BFSDistances returns the hop distance from src to every node, with -1 for
+// unreachable nodes, restricted to the induced subgraph on set (nil = all).
+func (g *Graph) BFSDistances(src int, set *bitset.Set) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	inSet := func(v int) bool { return set == nil || set.Contains(v) }
+	if !inSet(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			u := int(w)
+			if inSet(u) && dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum eccentricity over the induced subgraph on
+// set (nil = whole graph). Returns -1 if the induced subgraph is
+// disconnected or empty.
+func (g *Graph) Diameter(set *bitset.Set) int {
+	var nodes []int
+	if set == nil {
+		nodes = make([]int, g.N())
+		for i := range nodes {
+			nodes[i] = i
+		}
+	} else {
+		nodes = set.Indices()
+	}
+	if len(nodes) == 0 {
+		return -1
+	}
+	best := 0
+	for _, v := range nodes {
+		dist := g.BFSDistances(v, set)
+		for _, u := range nodes {
+			if dist[u] < 0 {
+				return -1
+			}
+			if dist[u] > best {
+				best = dist[u]
+			}
+		}
+	}
+	return best
+}
+
+// NeighborhoodOf returns Γ(U): every node adjacent to at least one node of
+// U. Note that per the paper's definition Γ(U) may include nodes of U
+// itself (a node of U with a neighbor in U).
+func (g *Graph) NeighborhoodOf(set *bitset.Set) *bitset.Set {
+	out := bitset.New(g.N())
+	set.ForEach(func(v int) {
+		for _, w := range g.adj[v] {
+			out.Add(int(w))
+		}
+	})
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,96 @@
+// Package graphio reads and writes graphs as plain-text edge lists, the
+// interchange format of the cmd/ tools:
+//
+//	# comment lines start with '#'
+//	n 128          # node count (optional if every node has an edge)
+//	0 1
+//	0 5
+//	...
+//
+// Node indices are 0-based.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nearclique/internal/graph"
+)
+
+// Read parses an edge list. A leading "n <count>" line fixes the node
+// count; otherwise it is one more than the largest endpoint mentioned.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var edges [][2]int
+	n := -1
+	maxIdx := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: malformed node-count line %q", line, text)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: line %d: bad node count %q", line, fields[1])
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: line %d: expected 'u v', got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad endpoint %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: bad endpoint %q", line, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graphio: line %d: negative node index", line)
+		}
+		if u > maxIdx {
+			maxIdx = u
+		}
+		if v > maxIdx {
+			maxIdx = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if n < 0 {
+		n = maxIdx + 1
+	}
+	if maxIdx >= n {
+		return nil, fmt.Errorf("graphio: edge endpoint %d exceeds declared node count %d", maxIdx, n)
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// Write emits the graph in the format Read accepts.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,93 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nearclique/internal/gen"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `# a comment
+n 5
+0 1
+1 2
+
+3 4
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Fatal("missing edges")
+	}
+}
+
+func TestReadInfersNodeCount(t *testing.T) {
+	g, err := Read(strings.NewReader("0 1\n5 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 6 {
+		t.Fatalf("inferred N=%d, want 6", g.N())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"0 1 2\n",     // too many fields
+		"a b\n",       // non-numeric
+		"n -3\n",      // negative count
+		"n 2\n0 5\n",  // endpoint exceeds count
+		"-1 0\n",      // negative index
+		"n\n",         // malformed count line
+		"n 2 3\n0 1x", // malformed
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(40, 0.2, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed graph: %d/%d vs %d/%d", g.N(), g.M(), g2.N(), g2.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) != g2.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}
+
+func TestWriteIsolatedNodes(t *testing.T) {
+	g := gen.Empty(7)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 7 || g2.M() != 0 {
+		t.Fatalf("isolated nodes lost: N=%d M=%d", g2.N(), g2.M())
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := math.Sqrt(2.5)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("50/100 interval [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval [%v, %v] too wide for n=100", lo, hi)
+	}
+	// Extremes stay in [0,1].
+	lo, hi = Wilson(0, 10)
+	if lo != 0 || hi <= 0 || hi >= 1 {
+		t.Fatalf("0/10 interval [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(10, 10)
+	if hi != 1 || lo >= 1 || lo <= 0 {
+		t.Fatalf("10/10 interval [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("0/0 interval [%v, %v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		n := int(n8)
+		k := int(k8)
+		if k > n {
+			k, n = n, k
+		}
+		lo, hi := Wilson(k, n)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		if n > 0 {
+			p := float64(k) / float64(n)
+			return lo <= p+1e-9 && hi >= p-1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for trial := 0; trial < 1000; trial++ {
+		s := TrialSeed(7, trial)
+		if seen[s] {
+			t.Fatalf("duplicate trial seed at %d", trial)
+		}
+		seen[s] = true
+	}
+	if TrialSeed(7, 0) == TrialSeed(8, 0) {
+		t.Fatal("different bases share seeds")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}

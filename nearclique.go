@@ -1,0 +1,225 @@
+// Package nearclique is a Go implementation of Brakerski & Patt-Shamir,
+// "Distributed Discovery of Large Near-Cliques" (PODC 2009): a randomized
+// CONGEST-model algorithm that, given a graph containing an ε³-near clique
+// of size δn, finds — in O(1) rounds for constant parameters, with
+// O(log n)-bit messages and constant success probability — a collection of
+// disjoint near-cliques, at least one of which is an O(ε/δ)-near clique of
+// size (1−O(ε))·δn.
+//
+// A set D is an ε-near clique if all but an ε fraction of the ordered
+// pairs of D carry an edge (Definition 1 in the paper).
+//
+// The package exposes:
+//
+//   - Find: the full distributed protocol on a faithful CONGEST simulator
+//     (one O(log n)-bit message per edge per round, measured metrics).
+//   - FindSequential: a centralized reference implementation that replays
+//     the identical coins and tie-breaks bit-for-bit, for large inputs.
+//   - Graph construction, generators for the paper's graph families, and
+//     edge-list I/O.
+//
+// Quickstart:
+//
+//	inst := nearclique.GenPlantedNearClique(500, 150, 0.01, 0.05, 1)
+//	res, err := nearclique.Find(inst.Graph, nearclique.Options{
+//	        Epsilon:        0.25,
+//	        ExpectedSample: 6,
+//	        Seed:           1,
+//	})
+//	if err != nil { ... }
+//	best := res.Best() // largest reported near-clique, or nil
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every claim in the paper.
+package nearclique
+
+import (
+	"io"
+
+	"nearclique/internal/baseline"
+	"nearclique/internal/bitset"
+	"nearclique/internal/congest"
+	"nearclique/internal/core"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+	"nearclique/internal/graphio"
+)
+
+// Graph is an immutable simple undirected graph on nodes 0..N()-1.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadGraph parses the plain-text edge-list format (see cmd/gengraph).
+func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+
+// WriteGraph emits a graph in the format ReadGraph accepts.
+func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+
+// Options configures a run of Algorithm DistNearClique; see the field
+// documentation in the core package (re-exported verbatim).
+type Options = core.Options
+
+// Result is the output of a run: per-node labels, the committed
+// near-cliques, sample sizes, and simulator metrics.
+type Result = core.Result
+
+// Candidate is one reported near-clique.
+type Candidate = core.Candidate
+
+// Metrics describes simulator costs: rounds, frames, bits, and the largest
+// single message.
+type Metrics = congest.Metrics
+
+// NoLabel is the ⊥ output value: the node is in no reported near-clique.
+const NoLabel = core.NoLabel
+
+// ErrComponentTooLarge is returned when a sampled component exceeds
+// Options.MaxComponentSize; lower the sampling probability.
+var ErrComponentTooLarge = core.ErrComponentTooLarge
+
+// ErrRoundLimit is returned when Options.MaxRounds is exceeded (the
+// paper's deterministic running-time wrapper).
+var ErrRoundLimit = core.ErrRoundLimit
+
+// Find runs the distributed algorithm on the CONGEST simulator.
+func Find(g *Graph, opts Options) (*Result, error) { return core.Find(g, opts) }
+
+// FindSequential runs the centralized reference implementation: identical
+// output to Find on the same seed, no message simulation (faster and
+// memory-lighter for large graphs).
+func FindSequential(g *Graph, opts Options) (*Result, error) { return core.FindSequential(g, opts) }
+
+// Density returns the Definition-1 density of a node set: the fraction of
+// ordered pairs inside the set that carry an edge.
+func Density(g *Graph, nodes []int) float64 { return g.DensityOf(nodes) }
+
+// IsNearClique reports whether the node set is an ε-near clique.
+func IsNearClique(g *Graph, nodes []int, eps float64) bool {
+	return g.IsNearClique(bitset.FromIndices(g.N(), nodes), eps)
+}
+
+// GreedyPeel runs Charikar's greedy densest-subgraph 2-approximation — a
+// centralized comparator. It returns the chosen set and its average degree
+// |E(U)|/|U| (note: a different objective than near-clique density).
+func GreedyPeel(g *Graph) ([]int, float64) { return g.GreedyPeel() }
+
+// SearchOptions configures SearchMinEpsilon.
+type SearchOptions = core.SearchOptions
+
+// ErrNotFound is returned by SearchMinEpsilon when no probed ε yields a
+// near-clique of the requested size.
+var ErrNotFound = core.ErrNotFound
+
+// SearchMinEpsilon estimates the smallest ε at which the graph contains a
+// reportable ε-near clique of ≥ ρn nodes, by bisection over boosted runs —
+// the practical analogue of Fischer & Newman's minimum-distance estimation
+// (the paper's related work [9]).
+func SearchMinEpsilon(g *Graph, so SearchOptions) (float64, *Result, error) {
+	return core.SearchMinEpsilon(g, so)
+}
+
+// --- Baselines (Section 3 of the paper) --------------------------------
+
+// ShinglesOptions configures the shingles baseline.
+type ShinglesOptions = baseline.ShinglesOptions
+
+// ShinglesResult is the shingles baseline output.
+type ShinglesResult = baseline.ShinglesResult
+
+// Shingles runs the Section-3 shingles baseline (fast, small messages, but
+// provably fails on the Claim-1 family; see EXPERIMENTS.md E4).
+func Shingles(g *Graph, opts ShinglesOptions) (*ShinglesResult, error) {
+	return baseline.Shingles(g, opts)
+}
+
+// NNOptions configures the neighbors' neighbors baseline.
+type NNOptions = baseline.NNOptions
+
+// NNResult is the neighbors' neighbors baseline output.
+type NNResult = baseline.NNResult
+
+// NeighborsNeighbors runs the Section-3 LOCAL-model baseline (correct but
+// with Θ(Δ log n)-bit messages and local max-clique computations).
+func NeighborsNeighbors(g *Graph, opts NNOptions) (*NNResult, error) {
+	return baseline.NeighborsNeighbors(g, opts)
+}
+
+// MISOptions configures Luby's maximal-independent-set baseline.
+type MISOptions = baseline.MISOptions
+
+// MISResult is the Luby baseline output.
+type MISResult = baseline.MISResult
+
+// LubyMIS runs Luby's distributed MIS algorithm in CONGEST (the paper's
+// related-work pointer [16, 2]).
+func LubyMIS(g *Graph, opts MISOptions) (*MISResult, error) {
+	return baseline.LubyMIS(g, opts)
+}
+
+// MaximalCliqueViaComplementMIS runs Luby's MIS on the complement graph,
+// yielding a maximal — not maximum — clique of g (the paper's remark on
+// why MIS does not solve dense-subgraph discovery; see experiment E12).
+func MaximalCliqueViaComplementMIS(g *Graph, opts MISOptions) ([]int, Metrics, error) {
+	return baseline.MaximalCliqueViaComplementMIS(g, opts)
+}
+
+// --- Generators ---------------------------------------------------------
+
+// PlantedGraph describes a generated graph with a planted dense set.
+type PlantedGraph = gen.Planted
+
+// GenErdosRenyi returns G(n, p).
+func GenErdosRenyi(n int, p float64, seed int64) *Graph { return gen.ErdosRenyi(n, p, seed) }
+
+// GenPlantedNearClique plants an epsIn-near clique of the given size over
+// a G(n, pOut) background.
+func GenPlantedNearClique(n, size int, epsIn, pOut float64, seed int64) PlantedGraph {
+	return gen.PlantedNearClique(n, size, epsIn, pOut, seed)
+}
+
+// GenPlantedClique plants a strict clique.
+func GenPlantedClique(n, size int, pOut float64, seed int64) PlantedGraph {
+	return gen.PlantedClique(n, size, pOut, seed)
+}
+
+// ShinglesFamily is the Claim-1 counterexample instance.
+type ShinglesFamily = gen.Shingles
+
+// GenShinglesCounterexample builds the Figure-1 family member for clique
+// fraction delta.
+func GenShinglesCounterexample(n int, delta float64) ShinglesFamily {
+	return gen.ShinglesCounterexample(n, delta)
+}
+
+// ImpossibilityGraph is the Section-6 two-cliques-plus-path construction.
+type ImpossibilityGraph = gen.Impossibility
+
+// GenTwoCliquesPath builds the Section-6 construction.
+func GenTwoCliquesPath(n int, withAEdges bool) ImpossibilityGraph {
+	return gen.TwoCliquesPath(n, withAEdges)
+}
+
+// GenRandomGeometric returns a random geometric graph (unit square,
+// connect within radius) and the node positions.
+func GenRandomGeometric(n int, radius float64, seed int64) (*Graph, [][2]float64) {
+	return gen.RandomGeometric(n, radius, seed)
+}
+
+// GenPreferentialAttachment returns a Barabási–Albert style web-like graph.
+func GenPreferentialAttachment(n, m int, seed int64) *Graph {
+	return gen.PreferentialAttachment(n, m, seed)
+}
+
+// EmbedCommunity overlays a near-clique community on an existing graph and
+// returns the new graph plus the community members.
+func EmbedCommunity(g *Graph, size int, epsIn float64, seed int64) (*Graph, []int) {
+	return gen.EmbedCommunity(g, size, epsIn, seed)
+}

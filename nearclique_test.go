@@ -1,0 +1,138 @@
+package nearclique_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nearclique"
+)
+
+func TestFacadeFindOnPlantedGraph(t *testing.T) {
+	inst := nearclique.GenPlantedNearClique(200, 70, 0.01, 0.04, 3)
+	res, err := nearclique.Find(inst.Graph, nearclique.Options{
+		Epsilon: 0.25, ExpectedSample: 6, Seed: 5, Versions: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no near-clique found with boosting on an easy instance")
+	}
+	if !nearclique.IsNearClique(inst.Graph, best.Members, 0.3) {
+		t.Fatalf("best candidate density %v too low", best.Density)
+	}
+	if res.Metrics.Rounds == 0 || res.Metrics.MaxFrameBits == 0 {
+		t.Fatal("metrics not populated")
+	}
+}
+
+func TestFacadeSequentialMatchesDistributed(t *testing.T) {
+	g := nearclique.GenErdosRenyi(80, 0.15, 9)
+	opts := nearclique.Options{Epsilon: 0.3, ExpectedSample: 5, Seed: 2}
+	a, err := nearclique.Find(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nearclique.FindSequential(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestFacadeGraphBuilding(t *testing.T) {
+	b := nearclique.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("built graph N=%d M=%d", g.N(), g.M())
+	}
+	g2 := nearclique.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if nearclique.Density(g2, []int{0, 1, 2}) != 1 {
+		t.Fatal("triangle density should be 1")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := nearclique.GenErdosRenyi(30, 0.2, 4)
+	var buf bytes.Buffer
+	if err := nearclique.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := nearclique.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	inst := nearclique.GenPlantedClique(60, 20, 0.05, 6)
+	sh, err := nearclique.Shingles(inst.Graph, nearclique.ShinglesOptions{
+		Epsilon: 0.2, MinSize: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Labels) != 60 {
+		t.Fatal("shingles labels wrong length")
+	}
+	nn, err := nearclique.NeighborsNeighbors(inst.Graph, nearclique.NNOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.Cliques) == 0 {
+		t.Fatal("NN found nothing on a planted clique")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	g := nearclique.GenErdosRenyi(20, 0.9, 8)
+	_, err := nearclique.Find(g, nearclique.Options{Epsilon: 0.3, P: 1, Seed: 1, MaxComponentSize: 4})
+	if !errors.Is(err, nearclique.ErrComponentTooLarge) {
+		t.Fatalf("err = %v, want ErrComponentTooLarge", err)
+	}
+	_, err = nearclique.Find(g, nearclique.Options{Epsilon: 0.3, ExpectedSample: 5, MaxRounds: 1, Seed: 1})
+	if !errors.Is(err, nearclique.ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if g := nearclique.GenPreferentialAttachment(100, 2, 3); g.N() != 100 {
+		t.Fatal("PA generator broken")
+	}
+	sf := nearclique.GenShinglesCounterexample(80, 0.5)
+	if len(sf.C1) == 0 || len(sf.I1) == 0 {
+		t.Fatal("shingles family empty blocks")
+	}
+	im := nearclique.GenTwoCliquesPath(40, true)
+	if len(im.A) == 0 || len(im.B) == 0 || len(im.P) == 0 {
+		t.Fatal("impossibility construction empty blocks")
+	}
+	g, pos := nearclique.GenRandomGeometric(50, 0.2, 1)
+	if g.N() != 50 || len(pos) != 50 {
+		t.Fatal("geometric generator broken")
+	}
+	g2, members := nearclique.EmbedCommunity(g, 10, 0.1, 2)
+	if g2.N() != 50 || len(members) != 10 {
+		t.Fatal("embed community broken")
+	}
+}
+
+func TestFacadeGreedyPeel(t *testing.T) {
+	inst := nearclique.GenPlantedClique(80, 20, 0.02, 5)
+	set, avg := nearclique.GreedyPeel(inst.Graph)
+	if len(set) == 0 || avg <= 0 {
+		t.Fatal("greedy peel returned nothing")
+	}
+}
