@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"nearclique"
+	"nearclique/internal/congest"
 	"nearclique/internal/expt"
 )
 
@@ -45,6 +46,44 @@ func BenchmarkE12_ComplementMIS(b *testing.B)         { benchExperiment(b, "E12"
 func BenchmarkFindDistributed(b *testing.B) {
 	inst := nearclique.GenPlantedNearClique(300, 100, 0.01, 0.03, 1)
 	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.Find(inst.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindDistributedLegacy is the same workload on the legacy
+// reference engine; the ratio to BenchmarkFindDistributed is the
+// engine-rewrite speedup on a full protocol run.
+func BenchmarkFindDistributedLegacy(b *testing.B) {
+	inst := nearclique.GenPlantedNearClique(300, 100, 0.01, 0.03, 1)
+	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 2,
+		Engine: congest.EngineLegacy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nearclique.Find(inst.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindDistributedLarge runs the distributed protocol at n=20000
+// on a sparse planted instance — a size the per-edge-queue engine
+// struggled with; pair with BenchmarkFindDistributedLargeLegacy.
+func BenchmarkFindDistributedLarge(b *testing.B) {
+	benchFindLarge(b, 0)
+}
+
+func BenchmarkFindDistributedLargeLegacy(b *testing.B) {
+	benchFindLarge(b, congest.EngineLegacy)
+}
+
+func benchFindLarge(b *testing.B, engine congest.Engine) {
+	b.Helper()
+	inst := nearclique.GenSparsePlantedNearClique(20000, 600, 0.01, 20, 1)
+	opts := nearclique.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 2, Engine: engine}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := nearclique.Find(inst.Graph, opts); err != nil {

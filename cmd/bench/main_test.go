@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchQuickEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quick", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	bySuffix := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.WallNS <= 0 || r.Rounds <= 0 || r.Frames <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		bySuffix[r.Workload+"/"+r.Engine] = true
+	}
+	for _, want := range []string{
+		"gossip/er/sharded", "gossip/er/legacy", "find/planted-n5000/sharded",
+	} {
+		if !bySuffix[want] {
+			t.Fatalf("missing workload %s in %v", want, bySuffix)
+		}
+	}
+	// Engines must agree on the protocol-level counters per workload.
+	counters := map[string][3]int{}
+	for _, r := range rep.Results {
+		key := r.Workload
+		c := [3]int{r.Rounds, r.Frames, r.PayloadBytes}
+		if prev, ok := counters[key]; ok && prev != c {
+			t.Fatalf("%s: engines disagree on counters: %v vs %v", key, prev, c)
+		}
+		counters[key] = c
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+}

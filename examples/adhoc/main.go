@@ -9,13 +9,23 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
 	"math"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		radios = 300
 		radius = 0.12
@@ -38,7 +48,7 @@ func main() {
 		}
 	}
 	g = b.Build()
-	fmt.Printf("ad-hoc network: %d radios, %d in-range pairs; hotspot of %d mutually interfering radios\n",
+	fmt.Fprintf(w, "ad-hoc network: %d radios, %d in-range pairs; hotspot of %d mutually interfering radios\n",
 		g.N(), g.M(), len(hotspot))
 
 	res, err := nearclique.Find(g, nearclique.Options{
@@ -49,14 +59,14 @@ func main() {
 		MinSize:        10,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("CONGEST cost: %d rounds, max message %d bits\n",
+	fmt.Fprintf(w, "CONGEST cost: %d rounds, max message %d bits\n",
 		res.Metrics.Rounds, res.Metrics.MaxFrameBits)
 
 	if len(res.Candidates) == 0 {
-		fmt.Println("no interference cluster found — retry with another seed")
-		return
+		fmt.Fprintln(w, "no interference cluster found — retry with another seed")
+		return nil
 	}
 	for i, c := range res.Candidates {
 		cx, cy := 0.0, 0.0
@@ -65,8 +75,9 @@ func main() {
 			cy += pos[v][1]
 		}
 		k := float64(len(c.Members))
-		fmt.Printf("cluster #%d: %d radios at density %.3f, centroid (%.2f, %.2f)\n",
+		fmt.Fprintf(w, "cluster #%d: %d radios at density %.3f, centroid (%.2f, %.2f)\n",
 			i+1, len(c.Members), c.Density, cx/k, cy/k)
 	}
-	fmt.Println("\nclusters this dense need coordinated scheduling: every pair conflicts.")
+	fmt.Fprintln(w, "\nclusters this dense need coordinated scheduling: every pair conflicts.")
+	return nil
 }

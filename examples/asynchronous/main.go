@@ -11,12 +11,22 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		n    = 300
 		eps  = 0.25
@@ -27,7 +37,7 @@ func main() {
 
 	syncRes, err := nearclique.Find(inst.Graph, base)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	asyncOpts := base
@@ -35,7 +45,7 @@ func main() {
 	asyncOpts.AsyncMaxDelay = 7 // messages take 1..7 virtual time units
 	asyncRes, err := nearclique.Find(inst.Graph, asyncOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	same := true
@@ -45,20 +55,21 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("outputs identical under asynchrony: %v\n\n", same)
+	fmt.Fprintf(w, "outputs identical under asynchrony: %v\n\n", same)
 
 	sm, am := syncRes.Metrics, asyncRes.Metrics
-	fmt.Printf("%-28s %12s %12s\n", "", "synchronous", "asynchronous")
-	fmt.Printf("%-28s %12d %12d\n", "rounds (max node-round)", sm.Rounds, am.Rounds)
-	fmt.Printf("%-28s %12d %12d\n", "protocol frames", sm.Frames, am.Frames)
-	fmt.Printf("%-28s %12d %12d\n", "synchronizer acks", sm.AsyncAcks, am.AsyncAcks)
-	fmt.Printf("%-28s %12d %12d\n", "synchronizer safe-signals", sm.AsyncSafes, am.AsyncSafes)
-	fmt.Printf("%-28s %12s %12d\n", "virtual completion time", "-", am.AsyncVirtualTime)
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "", "synchronous", "asynchronous")
+	fmt.Fprintf(w, "%-28s %12d %12d\n", "rounds (max node-round)", sm.Rounds, am.Rounds)
+	fmt.Fprintf(w, "%-28s %12d %12d\n", "protocol frames", sm.Frames, am.Frames)
+	fmt.Fprintf(w, "%-28s %12d %12d\n", "synchronizer acks", sm.AsyncAcks, am.AsyncAcks)
+	fmt.Fprintf(w, "%-28s %12d %12d\n", "synchronizer safe-signals", sm.AsyncSafes, am.AsyncSafes)
+	fmt.Fprintf(w, "%-28s %12s %12d\n", "virtual completion time", "-", am.AsyncVirtualTime)
 
 	overhead := float64(am.Frames+am.AsyncAcks+am.AsyncSafes) / float64(am.Frames)
-	fmt.Printf("\nα-synchronizer message overhead: %.1f× the protocol's own traffic\n", overhead)
+	fmt.Fprintf(w, "\nα-synchronizer message overhead: %.1f× the protocol's own traffic\n", overhead)
 	if best := asyncRes.Best(); best != nil {
-		fmt.Printf("found: %d nodes at density %.3f (same set as the synchronous run)\n",
+		fmt.Fprintf(w, "found: %d nodes at density %.3f (same set as the synchronous run)\n",
 			len(best.Members), best.Density)
 	}
+	return nil
 }

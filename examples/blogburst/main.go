@@ -10,11 +10,22 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		blogs    = 500
 		commSize = 90
@@ -26,9 +37,9 @@ func main() {
 	missing := []float64{0.9, 0.6, 0.3, 0.1, 0.04, 0.01}
 
 	base := nearclique.GenErdosRenyi(blogs, 0.02, seed)
-	fmt.Printf("blog graph: %d blogs, background density 0.02; community of %d blogs densifying weekly\n\n",
+	fmt.Fprintf(w, "blog graph: %d blogs, background density 0.02; community of %d blogs densifying weekly\n\n",
 		blogs, commSize)
-	fmt.Printf("%-6s %-22s %-14s %-20s\n", "week", "community missing-pairs", "burst found?", "largest near-clique")
+	fmt.Fprintf(w, "%-6s %-22s %-14s %-20s\n", "week", "community missing-pairs", "burst found?", "largest near-clique")
 
 	for week, miss := range missing {
 		g, community := nearclique.EmbedCommunity(base, commSize, miss, seed+int64(week))
@@ -48,9 +59,10 @@ func main() {
 				detail = fmt.Sprintf("%d blogs @ density %.3f", len(best.Members), best.Density)
 			}
 		}
-		fmt.Printf("%-6d %-22.2f %-14s %-20s\n", week+1, miss, status, detail)
+		fmt.Fprintf(w, "%-6d %-22.2f %-14s %-20s\n", week+1, miss, status, detail)
 	}
-	fmt.Printf("\nthe detection threshold is ε³ = %.3f missing pairs (Theorem 5.7 with ε = %.2f):\n",
+	fmt.Fprintf(w, "\nthe detection threshold is ε³ = %.3f missing pairs (Theorem 5.7 with ε = %.2f):\n",
 		eps*eps*eps, eps)
-	fmt.Println("the burst becomes detectable once the community is an ε³-near clique.")
+	fmt.Fprintln(w, "the burst becomes detectable once the community is an ε³-near clique.")
+	return nil
 }

@@ -10,12 +10,22 @@ package main
 import (
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		n    = 350
 		eps  = 0.25
@@ -23,9 +33,9 @@ func main() {
 	)
 	dSize := n * 35 / 100 // δn with δ = 0.35
 	inst := nearclique.GenPlantedClique(n, dSize, 0.02, seed)
-	fmt.Printf("planted clique: %d of %d nodes; deliberately small sample s=4\n\n", dSize, n)
+	fmt.Fprintf(w, "planted clique: %d of %d nodes; deliberately small sample s=4\n\n", dSize, n)
 
-	fmt.Printf("%-4s %-10s %-12s %-10s\n", "λ", "success", "rounds", "best size")
+	fmt.Fprintf(w, "%-4s %-10s %-12s %-10s\n", "λ", "success", "rounds", "best size")
 	for _, lambda := range []int{1, 2, 4, 8} {
 		wins, rounds, bestSize := 0, 0, 0
 		const trials = 5
@@ -47,12 +57,12 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("%-4d %-10s %-12d %-10d\n",
+		fmt.Fprintf(w, "%-4d %-10s %-12d %-10d\n",
 			lambda, fmt.Sprintf("%d/%d", wins, trials), rounds/trials, bestSize)
 	}
 
 	// The deterministic running-time wrapper: bound the rounds and abort.
-	fmt.Println("\ndeterministic time bound (Section 4.1):")
+	fmt.Fprintln(w, "\ndeterministic time bound (Section 4.1):")
 	_, err := nearclique.Find(inst.Graph, nearclique.Options{
 		Epsilon:        eps,
 		ExpectedSample: 8,
@@ -60,10 +70,11 @@ func main() {
 		MaxRounds:      10, // far too few — the run aborts with all-⊥ outputs
 	})
 	if errors.Is(err, nearclique.ErrRoundLimit) {
-		fmt.Println("  MaxRounds=10 exceeded as expected:", err)
+		fmt.Fprintln(w, "  MaxRounds=10 exceeded as expected:", err)
 	} else if err != nil {
-		log.Fatal(err)
+		return err
 	} else {
-		fmt.Println("  unexpectedly finished within 10 rounds")
+		fmt.Fprintln(w, "  unexpectedly finished within 10 rounds")
 	}
+	return nil
 }

@@ -6,12 +6,22 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		n     = 400
 		eps   = 0.25
@@ -22,7 +32,7 @@ func main() {
 	// exact promise of Theorem 5.7.
 	plantEps := eps * eps * eps
 	inst := nearclique.GenPlantedNearClique(n, int(delta*float64(n)), plantEps, 0.04, seed)
-	fmt.Printf("planted a %.4f-near clique of %d nodes in G(%d, 0.04)\n",
+	fmt.Fprintf(w, "planted a %.4f-near clique of %d nodes in G(%d, 0.04)\n",
 		inst.EpsActual, len(inst.D), n)
 
 	res, err := nearclique.Find(inst.Graph, nearclique.Options{
@@ -32,20 +42,20 @@ func main() {
 		Versions:       3, // boost the Ω(1) success probability (Section 4.1)
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("\nCONGEST execution: %d rounds, %d frames, largest message %d bits (budget is O(log n))\n",
+	fmt.Fprintf(w, "\nCONGEST execution: %d rounds, %d frames, largest message %d bits (budget is O(log n))\n",
 		res.Metrics.Rounds, res.Metrics.Frames, res.Metrics.MaxFrameBits)
 
 	best := res.Best()
 	if best == nil {
-		fmt.Println("no near-clique found this run — retry with another seed or use Options.Versions")
-		return
+		fmt.Fprintln(w, "no near-clique found this run — retry with another seed or use Options.Versions")
+		return nil
 	}
-	fmt.Printf("\nlargest reported near-clique: %d nodes at density %.4f\n",
+	fmt.Fprintf(w, "\nlargest reported near-clique: %d nodes at density %.4f\n",
 		len(best.Members), best.Density)
-	fmt.Printf("  seeded by sample subset X = %v\n", best.SubsetX)
+	fmt.Fprintf(w, "  seeded by sample subset X = %v\n", best.SubsetX)
 
 	// How much of the planted set did we recover?
 	planted := map[int]bool{}
@@ -58,6 +68,7 @@ func main() {
 			hit++
 		}
 	}
-	fmt.Printf("  %d/%d members are from the planted set (recovered %.0f%% of it)\n",
+	fmt.Fprintf(w, "  %d/%d members are from the planted set (recovered %.0f%% of it)\n",
 		hit, len(best.Members), 100*float64(hit)/float64(len(inst.D)))
+	return nil
 }

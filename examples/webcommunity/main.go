@@ -9,12 +9,22 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"nearclique"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "example:", err)
+		os.Exit(1)
+	}
+}
+
+// run holds the example logic; main wires it to stdout and the smoke
+// tests drive it directly.
+func run(w io.Writer) error {
 	const (
 		n         = 800
 		commSize  = 120
@@ -25,7 +35,7 @@ func main() {
 	)
 	web := nearclique.GenPreferentialAttachment(n, 3, seed)
 	g, community := nearclique.EmbedCommunity(web, commSize, commEps, seed+1)
-	fmt.Printf("web graph: %d nodes, %d edges; embedded a %.2f-near clique community of %d pages\n",
+	fmt.Fprintf(w, "web graph: %d nodes, %d edges; embedded a %.2f-near clique community of %d pages\n",
 		g.N(), g.M(), commEps, len(community))
 
 	res, err := nearclique.FindSequential(g, nearclique.Options{
@@ -36,14 +46,14 @@ func main() {
 		MinSize:        minReport,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	inComm := map[int]bool{}
 	for _, v := range community {
 		inComm[v] = true
 	}
-	fmt.Printf("\nDistNearClique reported %d communit(ies):\n", len(res.Candidates))
+	fmt.Fprintf(w, "\nDistNearClique reported %d communit(ies):\n", len(res.Candidates))
 	for i, c := range res.Candidates {
 		hit := 0
 		for _, v := range c.Members {
@@ -51,7 +61,7 @@ func main() {
 				hit++
 			}
 		}
-		fmt.Printf("  #%d: %d pages, density %.3f, %d/%d from the planted community\n",
+		fmt.Fprintf(w, "  #%d: %d pages, density %.3f, %d/%d from the planted community\n",
 			i+1, len(c.Members), c.Density, hit, len(c.Members))
 	}
 
@@ -64,8 +74,9 @@ func main() {
 			hit++
 		}
 	}
-	fmt.Printf("\ngreedy peel (centralized, avg-degree objective): %d pages, avg degree %.2f, near-clique density %.3f, %d from community\n",
+	fmt.Fprintf(w, "\ngreedy peel (centralized, avg-degree objective): %d pages, avg degree %.2f, near-clique density %.3f, %d from community\n",
 		len(peel), avgDeg, nearclique.Density(g, peel), hit)
-	fmt.Println("\nnote: peel optimizes a different objective — it finds the densest core by average degree,")
-	fmt.Println("while DistNearClique targets Definition-1 density (fraction of present pairs).")
+	fmt.Fprintln(w, "\nnote: peel optimizes a different objective — it finds the densest core by average degree,")
+	fmt.Fprintln(w, "while DistNearClique targets Definition-1 density (fraction of present pairs).")
+	return nil
 }

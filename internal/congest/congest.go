@@ -10,12 +10,21 @@
 //     identifiers and polynomially-bounded counters.
 //
 // Protocol logic is supplied as one Proc per node. Sends are enqueued on
-// per-directed-edge FIFO queues; the runtime delivers at most one frame per
-// directed edge per round, which models the pipelining the paper's Lemma
-// 5.1 round accounting relies on. Frames exceeding the per-message bit
-// budget cause a panic when enforcement is on (a protocol bug), or are
-// recorded in the metrics when enforcement is off (how the LOCAL-model
-// "neighbors' neighbors" baseline is measured rather than forbidden).
+// per-directed-edge FIFO queues laid out in one flat CSR-indexed array;
+// the runtime delivers at most one frame per directed edge per round,
+// which models the pipelining the paper's Lemma 5.1 round accounting
+// relies on. Frames exceeding the per-message bit budget cause a panic
+// when enforcement is on (a protocol bug), or are recorded in the metrics
+// when enforcement is off (how the LOCAL-model "neighbors' neighbors"
+// baseline is measured rather than forbidden).
+//
+// Two interchangeable executors implement these semantics (Options.Engine;
+// see DESIGN.md §5): the default sharded flat-buffer engine (sharded.go),
+// which partitions nodes across a persistent worker pool and double-
+// buffers rounds through per-edge delivery slots, and the legacy
+// per-round-scan engine in this file, kept as the differential-testing
+// reference. Both are bit-for-bit deterministic at any worker count and
+// produce identical outputs and metrics.
 //
 // Multi-phase protocols advance phases when the network is quiescent (no
 // frame queued anywhere); see DESIGN.md §2 for why this synchronizer
@@ -33,6 +42,26 @@ import (
 
 	"nearclique/internal/graph"
 )
+
+// Engine selects the executor implementation. Both satisfy the identical
+// CONGEST semantics and produce bit-identical outputs and metrics; the
+// legacy engine exists as the reference for differential testing.
+type Engine uint8
+
+const (
+	// EngineSharded is the default: the flat-buffer sharded round engine.
+	EngineSharded Engine = iota
+	// EngineLegacy is the original per-directed-edge FIFO queue engine
+	// with per-round inbox scans.
+	EngineLegacy
+)
+
+func (e Engine) String() string {
+	if e == EngineLegacy {
+		return "legacy"
+	}
+	return "sharded"
+}
 
 // NodeID is a dense node index in [0, n).
 type NodeID int32
@@ -73,6 +102,9 @@ type Options struct {
 	MaxRounds int
 	// Parallelism bounds worker goroutines per round; 0 means GOMAXPROCS.
 	Parallelism int
+	// Engine selects the executor (default EngineSharded). Ignored when
+	// Async is set: the asynchronous executor is its own engine.
+	Engine Engine
 	// Async runs phases on the asynchronous executor with Awerbuch's
 	// α-synchronizer instead of the synchronous round loop (see async.go).
 	// Protocol outputs are identical; the synchronizer overhead appears in
@@ -115,22 +147,24 @@ type Network struct {
 	ctxs  []*Context
 	ids   []int64 // protocol IDs: pseudorandom permutation of [0, n)
 
-	queues   []fifo  // one per directed edge, indexed by edgeOffset
-	offsets  []int   // node -> first directed-edge index (CSR layout)
-	edgeFrom []int32 // directed edge -> sender
-	edgeTo   []int32 // directed edge -> receiver
+	csr      *graph.CSR
+	queues   []fifo  // one per directed edge, CSR-indexed
+	offsets  []int   // = csr.Offsets: node -> first directed-edge index
+	edgeFrom []int32 // directed edge -> sender (legacy sync engine only)
+	edgeTo   []int32 // = csr.Targets: directed edge -> receiver
 
-	activeEdges []int32 // directed-edge indices with non-empty queues
+	activeEdges []int32 // legacy: directed-edge indices with non-empty queues
 	activeFlag  []bool
 
-	inbox        [][]delivery // per destination, reused across rounds
+	inbox        [][]delivery // legacy: per destination, reused across rounds
 	touched      []int32
-	touchedFlag  []bool
+	touchedFlag  []bool // legacy: per-destination dedupe bit for the round's inbox
 	frameBits    int
 	metrics      Metrics
 	currentPhase *PhaseMetrics
 	workers      int
-	async        *asyncEngine // non-nil when Options.Async is set
+	async        *asyncEngine   // non-nil when Options.Async is set
+	sharded      *shardedEngine // non-nil when the sharded engine drives
 }
 
 type delivery struct {
@@ -138,20 +172,48 @@ type delivery struct {
 	msg  Message
 }
 
+// fifo is a per-directed-edge frame queue. The front frame lives in an
+// inline slot — almost every edge holds at most one queued frame per
+// round — and overflow (chunked pipelining) goes to a rarely-allocated
+// side buffer, keeping the struct at three words across the 2M()-entry
+// queue array. Invariant: one == nil ⇔ the queue is empty.
 type fifo struct {
+	one  Message
+	rest *fifoRest
+}
+
+type fifoRest struct {
 	buf  []Message
 	head int
 }
 
-func (q *fifo) push(m Message) { q.buf = append(q.buf, m) }
-func (q *fifo) empty() bool    { return q.head >= len(q.buf) }
+func (r *fifoRest) empty() bool { return r == nil || r.head >= len(r.buf) }
+
+func (q *fifo) push(m Message) {
+	if q.one == nil && q.rest.empty() {
+		q.one = m
+		return
+	}
+	if q.rest == nil {
+		q.rest = &fifoRest{}
+	}
+	q.rest.buf = append(q.rest.buf, m)
+}
+
+func (q *fifo) empty() bool { return q.one == nil }
+
 func (q *fifo) pop() Message {
-	m := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
+	m := q.one
+	if r := q.rest; !r.empty() {
+		q.one = r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head++
+		if r.head == len(r.buf) {
+			r.buf = r.buf[:0]
+			r.head = 0
+		}
+	} else {
+		q.one = nil
 	}
 	return m
 }
@@ -174,16 +236,16 @@ func bitsFor(x int) int {
 // node index and receives that node's Context for registration.
 func NewNetwork(g *graph.Graph, opts Options, procFor func(ctx *Context) Proc) *Network {
 	n := g.N()
+	csr := g.CSR()
 	net := &Network{
-		g:           g,
-		opts:        opts,
-		procs:       make([]Proc, n),
-		ctxs:        make([]*Context, n),
-		ids:         permutedIDs(n, opts.Seed),
-		offsets:     make([]int, n+1),
-		activeFlag:  nil,
-		inbox:       make([][]delivery, n),
-		touchedFlag: make([]bool, n),
+		g:       g,
+		opts:    opts,
+		procs:   make([]Proc, n),
+		ctxs:    make([]*Context, n),
+		ids:     permutedIDs(n, opts.Seed),
+		csr:     csr,
+		offsets: csr.Offsets,
+		edgeTo:  csr.Targets,
 	}
 	net.frameBits = opts.FrameBits
 	if net.frameBits == 0 {
@@ -193,25 +255,29 @@ func NewNetwork(g *graph.Graph, opts Options, procFor func(ctx *Context) Proc) *
 	if net.workers <= 0 {
 		net.workers = runtime.GOMAXPROCS(0)
 	}
-	total := 0
-	for v := 0; v < n; v++ {
-		net.offsets[v] = total
-		total += g.Degree(v)
-	}
-	net.offsets[n] = total
+	total := csr.NumEdges()
 	net.queues = make([]fifo, total)
 	net.activeFlag = make([]bool, total)
-	net.edgeFrom = make([]int32, total)
-	net.edgeTo = make([]int32, total)
-	for v := 0; v < n; v++ {
-		base := net.offsets[v]
-		for i, w := range g.Neighbors(v) {
-			net.edgeFrom[base+i] = int32(v)
-			net.edgeTo[base+i] = w
+	switch {
+	case opts.Async:
+		// The asynchronous executor pops the queues itself; no sync engine.
+	case opts.Engine == EngineLegacy:
+		net.inbox = make([][]delivery, n)
+		net.touchedFlag = make([]bool, n)
+		net.edgeFrom = make([]int32, total)
+		for v := 0; v < n; v++ {
+			for e := csr.Offsets[v]; e < csr.Offsets[v+1]; e++ {
+				net.edgeFrom[e] = int32(v)
+			}
 		}
+	default:
+		net.sharded = newShardedEngine(net)
 	}
 	for v := 0; v < n; v++ {
 		ctx := &Context{net: net, idx: NodeID(v)}
+		if net.sharded != nil {
+			ctx.shard = net.sharded.shardOf(int32(v))
+		}
 		net.ctxs[v] = ctx
 		net.procs[v] = procFor(ctx)
 	}
@@ -258,9 +324,14 @@ type Context struct {
 	net *Network
 	idx NodeID
 	rng *rand.Rand
+	// shard is the owning shard under the sharded engine (nil otherwise);
+	// Send records edge activations directly on it, which is race-free
+	// because a node's callbacks only ever run on its shard's worker.
+	shard *shard
 	// pendingActivations buffers directed edges whose queues became
-	// non-empty during this node's processing slice of the round; merged
-	// serially after the parallel section so workers never share state.
+	// non-empty during this node's processing slice of the round (legacy
+	// and async engines); merged serially after the parallel section so
+	// workers never share state.
 	pendingActivations []int32
 	// sends counts every frame ever enqueued by this node (the async
 	// executor charges its outstanding-work ledger from it).
@@ -289,10 +360,12 @@ func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(int(c.idx)) }
 // protocols in this repository only use it where the paper does).
 func (c *Context) NeighborID(v NodeID) int64 { return c.net.ids[v] }
 
-// Rand returns this node's private deterministic RNG.
+// Rand returns this node's private deterministic RNG: a counter-based
+// stream addressed by (seed, node) alone — O(1) memory, no warm-up, and
+// identical at any worker count and on every engine (see rng.go).
 func (c *Context) Rand() *rand.Rand {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(splitSeed(c.net.opts.Seed, int64(c.idx))))
+		c.rng = NewNodeRand(c.net.opts.Seed, int64(c.idx))
 	}
 	return c.rng
 }
@@ -312,26 +385,41 @@ func (c *Context) Send(to NodeID, msg Message) {
 		panic(fmt.Sprintf("congest: frame of %d bits exceeds budget %d (n=%d): %T",
 			b, net.frameBits, net.g.N(), msg))
 	}
-	nbrs := net.g.Neighbors(int(c.idx))
-	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(to) })
-	if i >= len(nbrs) || nbrs[i] != int32(to) {
+	edge := net.csr.EdgeTo(int32(c.idx), int32(to))
+	if edge < 0 {
 		panic(fmt.Sprintf("congest: node %d sending to non-neighbor %d", c.idx, to))
 	}
-	edge := net.offsets[c.idx] + i
+	c.enqueue(edge, msg)
+}
+
+// enqueue pushes a validated frame onto a directed-edge queue and records
+// the empty→non-empty activation with the owning engine.
+func (c *Context) enqueue(edge int, msg Message) {
+	net := c.net
 	q := &net.queues[edge]
 	wasEmpty := q.empty()
 	q.push(msg)
 	c.sends++
 	if wasEmpty && !net.activeFlag[edge] {
 		net.activeFlag[edge] = true
-		c.pendingActivations = append(c.pendingActivations, int32(edge))
+		if c.shard != nil {
+			c.shard.activeEdges = append(c.shard.activeEdges, int32(edge))
+		} else {
+			c.pendingActivations = append(c.pendingActivations, int32(edge))
+		}
 	}
 }
 
-// Broadcast sends msg on every incident edge.
+// Broadcast sends msg on every incident edge, skipping the per-send
+// neighbor lookup (the directed edges of c are exactly its CSR range).
 func (c *Context) Broadcast(msg Message) {
-	for _, v := range c.Neighbors() {
-		c.Send(NodeID(v), msg)
+	net := c.net
+	if b := msg.BitLen(); b > net.frameBits && !net.opts.Unbounded {
+		panic(fmt.Sprintf("congest: frame of %d bits exceeds budget %d (n=%d): %T",
+			b, net.frameBits, net.g.N(), msg))
+	}
+	for edge := net.offsets[c.idx]; edge < net.offsets[c.idx+1]; edge++ {
+		c.enqueue(edge, msg)
 	}
 }
 
@@ -341,6 +429,9 @@ func (c *Context) Broadcast(msg Message) {
 func (net *Network) RunPhase(name string) error {
 	if net.async != nil {
 		return net.async.runPhase(name)
+	}
+	if net.sharded != nil {
+		return net.sharded.runPhase(name)
 	}
 	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
 	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]

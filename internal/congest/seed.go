@@ -1,12 +1,9 @@
 package congest
 
-// SplitSeed derives the per-node RNG seed used by Context.Rand. It is
-// exported so that centralized reference implementations can replay the
-// exact coin flips of a distributed run (see internal/core's sequential
-// implementation and its equivalence tests).
-func SplitSeed(seed, node int64) int64 { return splitSeed(seed, node) }
-
 // PermutedIDs returns the protocol-ID assignment a Network with the given
-// seed would use: a pseudorandom permutation of [0, n). Exported for the
-// same reference-implementation purpose as SplitSeed.
+// seed would use: a pseudorandom permutation of [0, n). Exported so that
+// centralized reference implementations can replay the exact identities
+// of a distributed run (see internal/core's sequential implementation and
+// its equivalence tests); NewNodeRand in rng.go plays the same role for
+// the per-node coin flips.
 func PermutedIDs(n int, seed int64) []int64 { return permutedIDs(n, seed) }

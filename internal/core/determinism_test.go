@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+// Full-protocol determinism: Find must produce byte-identical results —
+// labels, candidates, sample sizes, and the complete phase transcript —
+// across engines, worker counts, GOMAXPROCS settings, and the
+// asynchronous executor, and all of them must agree with the sequential
+// reference.
+
+// resultTranscript canonicalizes a Result. includeMetrics=false drops the
+// simulator metrics (the sequential path has none; async differs in
+// round/overhead counters by design).
+func resultTranscript(res *Result, includeMetrics bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "labels=%v\nsamples=%v\nmaxcomp=%d\n",
+		res.Labels, res.SampleSizes, res.MaxComponent)
+	for _, c := range res.Candidates {
+		fmt.Fprintf(&b, "cand label=%d ver=%d members=%v x=%v density=%.9f\n",
+			c.Label, c.Version, c.Members, c.SubsetX, c.Density)
+	}
+	if includeMetrics {
+		m := res.Metrics
+		fmt.Fprintf(&b, "rounds=%d frames=%d bits=%d maxframe=%d\n",
+			m.Rounds, m.Frames, m.Bits, m.MaxFrameBits)
+		for _, ph := range m.Phases {
+			fmt.Fprintf(&b, "phase %s: rounds=%d frames=%d bits=%d\n",
+				ph.Name, ph.Rounds, ph.Frames, ph.Bits)
+		}
+	}
+	return b.String()
+}
+
+func determinismInstances() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"planted": gen.PlantedNearClique(400, 120, 0.01, 0.02, 5).Graph,
+		"sparse":  gen.SparsePlantedNearClique(400, 120, 0.01, 8, 5).Graph,
+		"er":      gen.ErdosRenyi(300, 0.05, 6),
+	}
+}
+
+func TestFindTranscriptAcrossEnginesAndWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	base := Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 3, Versions: 2}
+	for name, g := range determinismInstances() {
+		var want string
+		for _, procs := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(procs)
+			for _, engine := range []congest.Engine{congest.EngineSharded, congest.EngineLegacy} {
+				for _, par := range []int{1, 4} {
+					opts := base
+					opts.Engine = engine
+					opts.Parallelism = par
+					res, err := Find(g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := resultTranscript(res, true)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("%s: transcript diverged at GOMAXPROCS=%d engine=%v par=%d",
+							name, procs, engine, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFindMatchesSequentialOnBothEngines(t *testing.T) {
+	base := Options{Epsilon: 0.25, ExpectedSample: 7, Seed: 11, Versions: 2}
+	for name, g := range determinismInstances() {
+		seq, err := FindSequential(g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, engine := range []congest.Engine{congest.EngineSharded, congest.EngineLegacy} {
+			opts := base
+			opts.Engine = engine
+			dist, err := Find(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := resultTranscript(dist, false), resultTranscript(seq, false); a != b {
+				t.Fatalf("%s engine=%v: distributed vs sequential:\n%s\nvs\n%s", name, engine, a, b)
+			}
+		}
+	}
+}
+
+func TestFindAsyncMatchesSyncOnShardedEngine(t *testing.T) {
+	base := Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 17}
+	for name, g := range determinismInstances() {
+		sync, err := Find(g, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.Async = true
+		async, err := Find(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := resultTranscript(sync, false), resultTranscript(async, false); a != b {
+			t.Fatalf("%s: async outputs differ from sync:\n%s\nvs\n%s", name, a, b)
+		}
+		if sync.Metrics.Frames != async.Metrics.Frames || sync.Metrics.Bits != async.Metrics.Bits {
+			t.Fatalf("%s: async frames/bits differ from sync", name)
+		}
+	}
+}
+
+// TestFindRepeatableExactly double-checks that repeated runs share even
+// the unexported engine state trajectory (via reflect.DeepEqual on the
+// full public result).
+func TestFindRepeatableExactly(t *testing.T) {
+	g := gen.SparsePlantedNearClique(500, 150, 0.01, 10, 9).Graph
+	opts := Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 4, Versions: 3}
+	a, err := Find(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Find(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical runs produced different results")
+	}
+}

@@ -48,6 +48,7 @@ func Find(g *graph.Graph, opts Options) (*Result, error) {
 		FrameBits:     frameBits,
 		MaxRounds:     opts.MaxRounds,
 		Parallelism:   opts.Parallelism,
+		Engine:        opts.Engine,
 		Async:         opts.Async,
 		AsyncMaxDelay: opts.AsyncMaxDelay,
 	}, func(ctx *congest.Context) congest.Proc {

@@ -116,11 +116,12 @@ type compView struct {
 var _ congest.Proc = (*node)(nil)
 
 func newNode(d *driver, ctx *congest.Context) *node {
+	// cands and each version's comps map are allocated lazily: at scale
+	// almost every node never sees a candidate or a component.
 	return &node{
 		d:     d,
 		ctx:   ctx,
 		vers:  make([]*versionState, d.opts.Versions),
-		cands: make(map[candKey]candInfo),
 		label: NoLabel,
 	}
 }
@@ -207,7 +208,7 @@ func (nd *node) Recv(ctx *congest.Context, from congest.NodeID, msg congest.Mess
 // (Section 5.2): coin1 with probability p/2, coin2 with (p−p1)/(1−p1);
 // the node joins S iff either is heads, so Pr[v ∈ S] = p exactly.
 func (nd *node) startSample(ctx *congest.Context) {
-	vs := &versionState{parent: noParent, comps: make(map[int32]*compView)}
+	vs := &versionState{parent: noParent}
 	nd.vers[nd.d.version] = vs
 	p := nd.d.opts.P
 	p1 := p / 2
@@ -347,6 +348,9 @@ func (nd *node) startShare(ctx *congest.Context) {
 	}
 	// Non-root nodes received members in root's sorted order; the root
 	// sorted its own copy. Either way compMembers is sorted.
+	if vs.comps == nil {
+		vs.comps = make(map[int32]*compView)
+	}
 	cv := &compView{
 		rootIdx:    vs.rootIdx,
 		rootID:     vs.rootID,
@@ -374,6 +378,9 @@ func (nd *node) recvShareStart(from congest.NodeID, m msgShareStart) {
 	}
 	cv := vs.comps[m.rootIdx]
 	if cv == nil {
+		if vs.comps == nil {
+			vs.comps = make(map[int32]*compView)
+		}
 		cv = &compView{
 			rootIdx:  m.rootIdx,
 			rootID:   m.rootID,
@@ -423,13 +430,7 @@ func (nd *node) startLeafClaim(ctx *congest.Context) {
 // compsOrdered returns this version's component views sorted by root index
 // (map iteration order must never influence the protocol).
 func (nd *node) compsOrdered() []*compView {
-	vs := nd.vs()
-	out := make([]*compView, 0, len(vs.comps))
-	for _, cv := range vs.comps {
-		out = append(out, cv)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].rootIdx < out[j].rootIdx })
-	return out
+	return orderedViews(nd.vs())
 }
 
 // --- Exploration stage: K membership bits (steps 4a, 4b) --------------
@@ -806,6 +807,9 @@ func (nd *node) startAnnounce(ctx *congest.Context) {
 		}
 		cv.announcedSize = size
 		key := candKey{rootIdx: cv.rootIdx, version: int32(nd.d.version)}
+		if nd.cands == nil {
+			nd.cands = make(map[candKey]candInfo)
+		}
 		nd.cands[key] = candInfo{rootID: cv.rootID, size: size}
 		nd.forwardAnnounce(ctx, cv, nd.d.wire.announce(cv.rootIdx, int32(nd.d.version), cv.rootID, size))
 	}
@@ -828,6 +832,9 @@ func (nd *node) recvAnnounce(ctx *congest.Context, m msgAnnounce) {
 		panic("core: announce for unknown component")
 	}
 	cv.announcedSize = m.size
+	if nd.cands == nil {
+		nd.cands = make(map[candKey]candInfo)
+	}
 	nd.cands[candKey{rootIdx: m.rootIdx, version: m.version}] = candInfo{rootID: m.rootID, size: m.size}
 	if cv.isTreeNode {
 		nd.forwardAnnounce(ctx, cv, m)
@@ -886,6 +893,16 @@ func (nd *node) startVote(ctx *congest.Context) {
 }
 
 func orderedViews(vs *versionState) []*compView {
+	// The overwhelmingly common cases — background nodes far from any
+	// sampled component — must not pay for sorting machinery.
+	switch len(vs.comps) {
+	case 0:
+		return nil
+	case 1:
+		for _, cv := range vs.comps {
+			return []*compView{cv}
+		}
+	}
 	out := make([]*compView, 0, len(vs.comps))
 	for _, cv := range vs.comps {
 		out = append(out, cv)

@@ -69,6 +69,10 @@ type Options struct {
 	MaxComponentSize int
 	// Parallelism bounds simulator worker goroutines; 0 means GOMAXPROCS.
 	Parallelism int
+	// Engine selects the simulator executor (default: the sharded
+	// flat-buffer engine; congest.EngineLegacy is the reference engine).
+	// Outputs are bit-identical either way; only speed differs.
+	Engine congest.Engine
 	// Async runs the protocol on the asynchronous executor with an
 	// α-synchronizer instead of the synchronous round loop (the paper's §2
 	// remark via Awerbuch's synchronizer). Outputs are identical; the

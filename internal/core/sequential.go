@@ -36,10 +36,10 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 
 	// Persistent per-node RNGs: version j draws the (2j+1)-th and
 	// (2j+2)-th floats of each node's stream, exactly as the distributed
-	// nodes do.
+	// nodes do (the same counter-based streams Context.Rand hands out).
 	rngs := make([]*rand.Rand, n)
 	for v := 0; v < n; v++ {
-		rngs[v] = rand.New(rand.NewSource(congest.SplitSeed(opts.Seed, int64(v))))
+		rngs[v] = congest.NewNodeRand(opts.Seed, int64(v))
 	}
 
 	var comps []*seqComp

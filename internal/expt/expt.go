@@ -70,6 +70,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "Tolerant testing: DistNearClique vs GGR tester", Run: RunE10},
 		{ID: "E11", Title: "Section 2: asynchronous execution via an α-synchronizer", Run: RunE11},
 		{ID: "E12", Title: "Related work: maximal cliques via complement-MIS vs DistNearClique", Run: RunE12},
+		{ID: "E13", Title: "Engine scaling: sharded flat-buffer simulator to 10⁶ nodes", Run: RunE13},
 	}
 }
 

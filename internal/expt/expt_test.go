@@ -49,7 +49,7 @@ func TestByID(t *testing.T) {
 		t.Fatal("unknown ID accepted")
 	}
 	all, err := ByID("")
-	if err != nil || len(all) != 12 {
+	if err != nil || len(all) != 13 {
 		t.Fatalf("empty selector: %d experiments, err=%v", len(all), err)
 	}
 }

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nearclique/internal/graph"
+)
+
+// Sparse generators: the same families as gen.go but built through
+// graph.SparseBuilder in O(n + m) time and memory, usable at millions of
+// nodes where the O(n²) pair loops and per-node dense bitsets of the
+// small-graph generators are prohibitive.
+
+// SparseErdosRenyi returns G(n, p) using geometric skip-sampling over the
+// n(n-1)/2 pair space: instead of flipping a coin per pair, it jumps
+// directly to the next edge with a Geometric(p) stride, costing O(m).
+func SparseErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	b := graph.NewSparseBuilder(n)
+	rng := rand.New(rand.NewSource(seed))
+	sampleAllPairs(n, p, rng, func(u, v int) { b.AddEdge(u, v) })
+	return b.Build()
+}
+
+// sampleAllPairs invokes fn for each pair {u < v} selected independently
+// with probability p, via skip-sampling in lexicographic pair order.
+func sampleAllPairs(n int, p float64, rng *rand.Rand, fn func(u, v int)) {
+	if p <= 0 || n < 2 {
+		return
+	}
+	total := int64(n) * int64(n-1) / 2
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				fn(u, v)
+			}
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	idx := int64(-1)
+	// rowEnd is the pair index one past row u's pairs; rows are visited in
+	// increasing u, so a cursor amortizes index→(u,v) to O(n + m).
+	u := 0
+	rowEnd := int64(n - 1)
+	rowStart := int64(0)
+	for {
+		// Geometric(p) skip ≥ 1: floor(log(U)/log(1-p)) + 1.
+		skip := int64(math.Floor(math.Log(1-rng.Float64())/logq)) + 1
+		if skip < 1 {
+			skip = 1
+		}
+		idx += skip
+		if idx >= total {
+			return
+		}
+		for idx >= rowEnd {
+			u++
+			rowStart = rowEnd
+			rowEnd += int64(n - 1 - u)
+		}
+		v := u + 1 + int(idx-rowStart)
+		fn(u, v)
+	}
+}
+
+// SparsePlantedNearClique plants an epsIn-near clique of the given size in
+// a sparse background of expected average degree avgDeg (i.e. G(n, p) with
+// p = avgDeg/(n-1) on the non-internal pairs). Exactly
+// ⌊epsIn·size·(size-1)/2⌋ internal pairs are removed, mirroring
+// PlantedNearClique. Panics if size is out of range.
+func SparsePlantedNearClique(n, size int, epsIn, avgDeg float64, seed int64) Planted {
+	if size < 1 || size > n {
+		panic(fmt.Sprintf("gen: planted size %d out of range [1,%d]", size, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	members := rng.Perm(n)[:size]
+	inSet := make([]bool, n)
+	for _, v := range members {
+		inSet[v] = true
+	}
+	b := graph.NewSparseBuilder(n)
+	pOut := 0.0
+	if n > 1 {
+		pOut = avgDeg / float64(n-1)
+	}
+	// Background: skip-sample all pairs, dropping those internal to the
+	// planted set (an O(size²·p) fraction — vanishing for sparse p).
+	sampleAllPairs(n, pOut, rng, func(u, v int) {
+		if inSet[u] && inSet[v] {
+			return
+		}
+		b.AddEdge(u, v)
+	})
+	// Internal pairs: complete minus exactly `remove` uniformly random.
+	pairs := make([][2]int, 0, size*(size-1)/2)
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			pairs = append(pairs, [2]int{members[i], members[j]})
+		}
+	}
+	remove := int(epsIn * float64(size*(size-1)) / 2)
+	if remove > len(pairs) {
+		remove = len(pairs)
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	for _, pr := range pairs[remove:] {
+		b.AddEdge(pr[0], pr[1])
+	}
+	d := append([]int(nil), members...)
+	sortInts(d)
+	epsActual := 0.0
+	if size > 1 {
+		epsActual = float64(2*remove) / float64(size*(size-1))
+	}
+	return Planted{Graph: b.Build(), D: d, EpsActual: epsActual}
+}
+
+// SparsePreferentialAttachment returns a Barabási–Albert style graph at
+// scale: each arriving node draws m endpoint samples proportionally to
+// degree. Unlike PreferentialAttachment it does not reject duplicate
+// picks (they are dropped when the edge list is deduplicated), so a node
+// may end up with slightly fewer than m attachments; the heavy-tailed
+// degree distribution is preserved.
+func SparsePreferentialAttachment(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		panic("gen: preferential attachment needs m ≥ 1")
+	}
+	if n < m+1 {
+		panic("gen: preferential attachment needs n ≥ m+1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewSparseBuilder(n)
+	endpoints := make([]int32, 0, 2*n*m)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		for i := 0; i < m; i++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if int(u) == v {
+				continue
+			}
+			b.AddEdge(int(u), v)
+			endpoints = append(endpoints, u, int32(v))
+		}
+	}
+	return b.Build()
+}

@@ -11,6 +11,7 @@ import "nearclique/internal/bitset"
 // Section 3 needs — exactly the prohibitive worst-case-exponential step the
 // paper rules out.
 func (g *Graph) MaximalCliques(cand *bitset.Set, fn func(clique []int) bool) {
+	g.ensureRows() // Bron–Kerbosch works on dense rows
 	n := g.N()
 	var p *bitset.Set
 	if cand == nil {

@@ -1,0 +1,74 @@
+package graph
+
+// CSR is the compressed-sparse-row view of the graph's directed-edge space:
+// every undirected edge {u, v} appears as the two directed edges (u→v) and
+// (v→u). Directed edges are numbered 0..2M()-1, grouped by sender in node
+// order, and sorted by target within each sender's range — the layout the
+// CONGEST engine indexes its flat send/receive buffers with.
+type CSR struct {
+	// Offsets has length N()+1; sender v's directed edges occupy
+	// [Offsets[v], Offsets[v+1]).
+	Offsets []int
+	// Targets[e] is the receiver of directed edge e (ascending within each
+	// sender's range, mirroring Neighbors).
+	Targets []int32
+	// Rev[e] is the index of the reverse directed edge: if e is (u→v) then
+	// Rev[e] is (v→u). Rev[Rev[e]] == e.
+	Rev []int32
+}
+
+// NumEdges returns the number of directed edges (2·M()).
+func (c *CSR) NumEdges() int { return len(c.Targets) }
+
+// EdgeTo returns the directed-edge index (from→to), or -1 if to is not a
+// neighbor of from, via binary search over from's sorted range.
+func (c *CSR) EdgeTo(from, to int32) int {
+	lo, hi := c.Offsets[from], c.Offsets[from+1]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Targets[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.Offsets[from+1] && c.Targets[lo] == to {
+		return lo
+	}
+	return -1
+}
+
+// CSR returns the graph's CSR view, built on first use and cached. The
+// returned structure is shared and must not be modified.
+func (g *Graph) CSR() *CSR {
+	g.csrOnce.Do(func() {
+		n := g.N()
+		c := &CSR{Offsets: make([]int, n+1)}
+		total := 0
+		for v := 0; v < n; v++ {
+			c.Offsets[v] = total
+			total += len(g.adj[v])
+		}
+		c.Offsets[n] = total
+		c.Targets = make([]int32, total)
+		c.Rev = make([]int32, total)
+		for v := 0; v < n; v++ {
+			copy(c.Targets[c.Offsets[v]:], g.adj[v])
+		}
+		// Reverse indices by a counting pass: iterating all directed edges
+		// (u→v) in increasing u visits, for each fixed v, its in-neighbors u
+		// in ascending order — exactly v's sorted neighbor order — so a
+		// per-node cursor pairs each edge with its reverse.
+		cursor := make([]int, n)
+		copy(cursor, c.Offsets[:n])
+		for u := 0; u < n; u++ {
+			for e := c.Offsets[u]; e < c.Offsets[u+1]; e++ {
+				v := c.Targets[e]
+				c.Rev[e] = int32(cursor[v])
+				cursor[v]++
+			}
+		}
+		g.csr = c
+	})
+	return g.csr
+}

@@ -1,0 +1,63 @@
+package graph
+
+import "testing"
+
+func TestCSRInvariants(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(60, 0.15, seed)
+		c := g.CSR()
+		if len(c.Offsets) != g.N()+1 {
+			t.Fatalf("offsets len %d, want %d", len(c.Offsets), g.N()+1)
+		}
+		if c.NumEdges() != 2*g.M() {
+			t.Fatalf("NumEdges %d, want %d", c.NumEdges(), 2*g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			lo, hi := c.Offsets[v], c.Offsets[v+1]
+			if hi-lo != g.Degree(v) {
+				t.Fatalf("node %d range %d, want degree %d", v, hi-lo, g.Degree(v))
+			}
+			for i, w := range g.Neighbors(v) {
+				e := lo + i
+				if c.Targets[e] != w {
+					t.Fatalf("targets[%d] = %d, want %d", e, c.Targets[e], w)
+				}
+				// Rev is an involution pairing (v→w) with (w→v).
+				re := int(c.Rev[e])
+				if int(c.Rev[re]) != e {
+					t.Fatalf("Rev not an involution at %d", e)
+				}
+				if c.Targets[re] != int32(v) {
+					t.Fatalf("Rev[%d] targets %d, want %d", e, c.Targets[re], v)
+				}
+				if re < c.Offsets[w] || re >= c.Offsets[w+1] {
+					t.Fatalf("Rev[%d]=%d outside sender %d's range", e, re, w)
+				}
+			}
+		}
+	}
+}
+
+func TestCSREdgeTo(t *testing.T) {
+	g := randomGraph(50, 0.2, 3)
+	c := g.CSR()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			e := c.EdgeTo(int32(u), int32(v))
+			if g.HasEdge(u, v) {
+				if e < 0 || c.Targets[e] != int32(v) || e < c.Offsets[u] || e >= c.Offsets[u+1] {
+					t.Fatalf("EdgeTo(%d,%d) = %d wrong", u, v, e)
+				}
+			} else if e != -1 {
+				t.Fatalf("EdgeTo(%d,%d) = %d for a non-edge", u, v, e)
+			}
+		}
+	}
+}
+
+func TestCSRCached(t *testing.T) {
+	g := randomGraph(10, 0.4, 1)
+	if g.CSR() != g.CSR() {
+		t.Fatal("CSR not cached")
+	}
+}

@@ -6,7 +6,7 @@ import "nearclique/internal/bitset"
 func (g *Graph) EdgesWithin(set *bitset.Set) int {
 	total := 0
 	set.ForEach(func(v int) {
-		total += g.rows[v].IntersectionCount(set)
+		total += g.DegreeIn(v, set)
 	})
 	return total / 2
 }
@@ -57,7 +57,7 @@ func (g *Graph) K(x *bitset.Set, eps float64) *bitset.Set {
 	sz := x.Count()
 	threshold := (1 - eps) * float64(sz)
 	for v := 0; v < g.N(); v++ {
-		if float64(g.rows[v].IntersectionCount(x)) >= threshold-1e-9 {
+		if float64(g.DegreeIn(v, x)) >= threshold-1e-9 {
 			out.Add(v)
 		}
 	}
@@ -79,7 +79,7 @@ func (g *Graph) KRestricted(x *bitset.Set, eps float64, allowed *bitset.Set) *bi
 	out := bitset.New(g.N())
 	threshold := (1 - eps) * float64(x.Count())
 	allowed.ForEach(func(v int) {
-		if float64(g.rows[v].IntersectionCount(x)) >= threshold-1e-9 {
+		if float64(g.DegreeIn(v, x)) >= threshold-1e-9 {
 			out.Add(v)
 		}
 	})

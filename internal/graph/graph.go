@@ -11,20 +11,29 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nearclique/internal/bitset"
 )
 
 // Graph is an immutable simple undirected graph.
 //
-// Adjacency is stored twice: as sorted neighbor slices (for iteration) and
-// as per-node bitsets (for O(1) edge queries and fast intersection counts).
-// Construct with Builder or the helpers in this package; the zero value is
-// an empty graph with no nodes.
+// Adjacency is stored as sorted neighbor slices (for iteration); graphs
+// built with Builder additionally carry per-node bitsets (for O(1) edge
+// queries and fast intersection counts). Graphs built with SparseBuilder
+// skip the bitsets — O(n²) bits is prohibitive at millions of nodes — and
+// answer edge queries by binary search; the bitsets are materialized
+// lazily if a dense-only operation needs them. Construct with Builder,
+// SparseBuilder, or the helpers in this package; the zero value is an
+// empty graph with no nodes.
 type Graph struct {
 	adj  [][]int32
-	rows []*bitset.Set
-	m    int // number of undirected edges
+	rows []*bitset.Set // nil for sparse-built graphs until ensureRows
+	m    int           // number of undirected edges
+
+	rowsOnce sync.Once
+	csrOnce  sync.Once
+	csr      *CSR
 }
 
 // N returns the number of nodes.
@@ -45,16 +54,62 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	return g.rows[u].Contains(v)
+	if g.rows != nil {
+		return g.rows[u].Contains(v)
+	}
+	// Sparse graph: binary search the shorter neighbor list.
+	a, b := g.adj[u], g.adj[v]
+	if len(b) < len(a) {
+		a, b = b, a
+		u, v = v, u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
 }
 
-// AdjRow returns the adjacency bitset of v. It is shared with the graph and
-// must not be modified.
-func (g *Graph) AdjRow(v int) *bitset.Set { return g.rows[v] }
+// ensureRows materializes the per-node adjacency bitsets of a sparse-built
+// graph. This costs O(n²) bits and exists for the dense analysis helpers
+// (clique enumeration, complement construction); it is not meant to run on
+// million-node graphs.
+func (g *Graph) ensureRows() {
+	g.rowsOnce.Do(func() {
+		if g.rows != nil {
+			return
+		}
+		rows := make([]*bitset.Set, g.N())
+		for v := range rows {
+			row := bitset.New(g.N())
+			for _, w := range g.adj[v] {
+				row.Add(int(w))
+			}
+			rows[v] = row
+		}
+		g.rows = rows
+	})
+}
+
+// AdjRow returns the adjacency bitset of v, materializing the bitsets on
+// first use for sparse-built graphs. It is shared with the graph and must
+// not be modified.
+func (g *Graph) AdjRow(v int) *bitset.Set {
+	if g.rows == nil {
+		g.ensureRows()
+	}
+	return g.rows[v]
+}
 
 // DegreeIn returns |Γ(v) ∩ set|.
 func (g *Graph) DegreeIn(v int, set *bitset.Set) int {
-	return g.rows[v].IntersectionCount(set)
+	if g.rows != nil {
+		return g.rows[v].IntersectionCount(set)
+	}
+	count := 0
+	for _, w := range g.adj[v] {
+		if set.Contains(int(w)) {
+			count++
+		}
+	}
+	return count
 }
 
 // Builder accumulates edges and produces an immutable Graph.

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseBuilder accumulates edges as a packed list and produces an
+// immutable Graph without per-node dense bitsets, so million-node graphs
+// cost O(n + m) memory instead of O(n²) bits. Graphs built this way answer
+// HasEdge by binary search; the dense adjacency rows needed by the
+// clique-enumeration helpers are materialized lazily on first use (see
+// Graph.AdjRow), which is only advisable for small graphs.
+//
+// Duplicate edges and self-loops are ignored, like Builder's.
+type SparseBuilder struct {
+	n     int
+	edges []uint64 // packed min(u,v)<<32 | max(u,v)
+}
+
+// NewSparseBuilder returns a SparseBuilder for a graph on n nodes.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &SparseBuilder{n: n}
+}
+
+// N returns the node count the builder was created with.
+func (b *SparseBuilder) N() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// Panics if an endpoint is out of range.
+func (b *SparseBuilder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
+}
+
+// Build finalizes the graph: sorts the edge list, drops duplicates, and
+// lays out sorted neighbor slices over one shared backing array. The
+// builder remains usable afterwards.
+func (b *SparseBuilder) Build() *Graph {
+	edges := append([]uint64(nil), b.edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	// Dedupe in place.
+	w := 0
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			edges[w] = e
+			w++
+		}
+	}
+	edges = edges[:w]
+
+	deg := make([]int, b.n)
+	for _, e := range edges {
+		deg[e>>32]++
+		deg[uint32(e)]++
+	}
+	g := &Graph{adj: make([][]int32, b.n), m: len(edges)}
+	backing := make([]int32, 2*len(edges))
+	off := 0
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = backing[off : off : off+deg[v]]
+		off += deg[v]
+	}
+	for _, e := range edges {
+		u, v := int32(e>>32), int32(uint32(e))
+		g.adj[u] = append(g.adj[u], v)
+		g.adj[v] = append(g.adj[v], u)
+	}
+	// Each adj[u] holds v-ascending entries from the u<v pass interleaved
+	// with the v>u pass; both passes emit ascending targets, but their merge
+	// is not sorted — sort each row (cheap: rows share the backing array).
+	for v := 0; v < b.n; v++ {
+		row := g.adj[v]
+		if !int32sSorted(row) {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
+	}
+	return g
+}
+
+func int32sSorted(xs []int32) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromEdgeList builds a graph on n nodes from an edge list using the
+// sparse path (no dense bitsets); the graph of choice for large inputs.
+func FromEdgeList(n int, edges [][2]int) *Graph {
+	b := NewSparseBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSparseBuilderMatchesDense: the sparse and dense builders must
+// produce structurally identical graphs from the same (messy) edge
+// stream, including duplicates, self-loops, and both orientations.
+func TestSparseBuilderMatchesDense(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(40)
+		dense := NewBuilder(n)
+		sparse := NewSparseBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			dense.AddEdge(u, v)
+			sparse.AddEdge(u, v)
+			if rng.Intn(3) == 0 { // duplicate, possibly flipped
+				dense.AddEdge(v, u)
+				sparse.AddEdge(v, u)
+			}
+		}
+		gd, gs := dense.Build(), sparse.Build()
+		if gd.N() != gs.N() || gd.M() != gs.M() {
+			t.Fatalf("seed %d: n/m mismatch: (%d,%d) vs (%d,%d)",
+				seed, gd.N(), gd.M(), gs.N(), gs.M())
+		}
+		for v := 0; v < n; v++ {
+			a, b := gd.Neighbors(v), gs.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d node %d: degree %d vs %d", seed, v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d node %d: neighbor %d vs %d", seed, v, a[i], b[i])
+				}
+			}
+		}
+		// Edge queries agree on the rows-less graph.
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if gd.HasEdge(u, v) != gs.HasEdge(u, v) {
+					t.Fatalf("seed %d: HasEdge(%d,%d) disagrees", seed, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseGraphLazyRows(t *testing.T) {
+	g := FromEdgeList(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if g.rows != nil {
+		t.Fatal("sparse graph materialized rows eagerly")
+	}
+	row := g.AdjRow(0) // forces materialization
+	if g.rows == nil {
+		t.Fatal("AdjRow did not materialize rows")
+	}
+	if !row.Contains(1) || !row.Contains(2) || !row.Contains(3) || row.Contains(4) {
+		t.Fatalf("row contents wrong")
+	}
+}
+
+func TestSparseGraphDensityAndCliques(t *testing.T) {
+	// Triangle plus pendant, via the sparse path: the dense analysis
+	// helpers must agree with a dense-built twin.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}}
+	gs := FromEdgeList(4, edges)
+	gd := FromEdges(4, edges)
+	if got, want := gs.DensityOf([]int{0, 1, 2}), gd.DensityOf([]int{0, 1, 2}); got != want {
+		t.Fatalf("density %v vs %v", got, want)
+	}
+	if got, want := gs.MaxClique(nil), gd.MaxClique(nil); len(got) != len(want) {
+		t.Fatalf("max clique %v vs %v", got, want)
+	}
+}
+
+func TestSparseBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparseBuilder(3).AddEdge(0, 3)
+}

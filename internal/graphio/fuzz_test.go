@@ -1,0 +1,113 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Malformed-input table: every entry must produce an error — never a
+// panic, never an unbounded allocation.
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"bad node count line":   "n\n0 1\n",
+		"non-numeric count":     "n x\n",
+		"negative count":        "n -4\n",
+		"huge declared count":   "n 99999999999999\n",
+		"over-limit count":      "n 999999999\n0 1\n",
+		"three fields":          "0 1 2\n",
+		"one field":             "7\n",
+		"non-numeric endpoint":  "0 a\n",
+		"negative endpoint":     "0 -1\n",
+		"huge endpoint":         "0 99999999999999999\n",
+		"over-limit endpoint":   "0 999999999\n",
+		"endpoint beyond count": "n 4\n0 7\n",
+		"float endpoint":        "0 1.5\n",
+	}
+	for name, in := range cases {
+		if g, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted %q (graph n=%d)", name, in, g.N())
+		}
+	}
+}
+
+func TestReadAcceptsOddButValidInput(t *testing.T) {
+	in := "# comment\n\n  n   5 \n 0 1 \n1 0\n# dup below\n0 1\n3 3\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One real edge (dupes and the self-loop collapse), 5 declared nodes.
+	if g.N() != 5 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d, want 5, 1", g.N(), g.M())
+	}
+}
+
+func TestReadTruncatedStreamErrors(t *testing.T) {
+	// A reader that fails mid-stream must surface the error.
+	r := &failingReader{data: []byte("n 10\n0 1\n2 3\n")}
+	if _, err := Read(r); err == nil {
+		t.Fatal("Read swallowed a stream error")
+	}
+}
+
+type failingReader struct {
+	data []byte
+	done bool
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if !r.done {
+		r.done = true
+		n := copy(p, r.data)
+		return n, nil
+	}
+	return 0, errTruncated
+}
+
+var errTruncated = &truncErr{}
+
+type truncErr struct{}
+
+func (*truncErr) Error() string { return "simulated truncation" }
+
+// FuzzRead: arbitrary input must never panic or allocate absurdly; valid
+// parses must survive a Write/Read round-trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("n 5\n0 1\n1 2\n")
+	f.Add("0 1\n")
+	f.Add("# only a comment\n")
+	f.Add("n 0\n")
+	f.Add("n 3\n2 2\n")
+	f.Add("0 999999999\n")
+	f.Add("n 99999999999999999999\n")
+	f.Add("0 -17\nn 4\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write failed on parsed graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v\ninput: %q\nwritten: %q", err, in, buf.String())
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round-trip changed graph: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			a, b := g.Neighbors(v), g2.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("round-trip changed degree of %d", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round-trip changed adjacency of %d", v)
+				}
+			}
+		}
+	})
+}

@@ -20,8 +20,18 @@ import (
 	"nearclique/internal/graph"
 )
 
+// MaxNodes caps the node count Read accepts, whether declared by an
+// "n <count>" line or implied by the largest endpoint. A single short
+// line like "0 999999999" would otherwise commit gigabytes before any
+// protocol ran; malformed or hostile inputs must fail with an error, not
+// an allocation storm. Raise it (before calling Read) for legitimately
+// larger graphs.
+var MaxNodes = 1 << 24
+
 // Read parses an edge list. A leading "n <count>" line fixes the node
 // count; otherwise it is one more than the largest endpoint mentioned.
+// Graphs are built through the sparse path (no per-node dense bitsets),
+// so reading a million-node edge list costs O(n + m).
 func Read(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -44,6 +54,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad node count %q", line, fields[1])
 			}
+			if v > MaxNodes {
+				return nil, fmt.Errorf("graphio: line %d: node count %d exceeds limit %d", line, v, MaxNodes)
+			}
 			n = v
 			continue
 		}
@@ -60,6 +73,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graphio: line %d: negative node index", line)
+		}
+		if u >= MaxNodes || v >= MaxNodes {
+			return nil, fmt.Errorf("graphio: line %d: node index exceeds limit %d", line, MaxNodes)
 		}
 		if u > maxIdx {
 			maxIdx = u
@@ -78,7 +94,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	if maxIdx >= n {
 		return nil, fmt.Errorf("graphio: edge endpoint %d exceeds declared node count %d", maxIdx, n)
 	}
-	return graph.FromEdges(n, edges), nil
+	return graph.FromEdgeList(n, edges), nil
 }
 
 // Write emits the graph in the format Read accepts.

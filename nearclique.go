@@ -223,3 +223,31 @@ func GenPreferentialAttachment(n, m int, seed int64) *Graph {
 func EmbedCommunity(g *Graph, size int, epsIn float64, seed int64) (*Graph, []int) {
 	return gen.EmbedCommunity(g, size, epsIn, seed)
 }
+
+// --- Sparse generators and construction (million-node scale) ------------
+
+// NewSparseBuilder returns an edge-list graph builder that skips the
+// per-node dense bitsets — O(n+m) memory, the construction path for
+// million-node graphs.
+func NewSparseBuilder(n int) *graph.SparseBuilder { return graph.NewSparseBuilder(n) }
+
+// FromEdgeList builds a graph on n nodes from an edge list via the sparse
+// path.
+func FromEdgeList(n int, edges [][2]int) *Graph { return graph.FromEdgeList(n, edges) }
+
+// GenSparseErdosRenyi returns G(n, p) by O(m) skip-sampling.
+func GenSparseErdosRenyi(n int, p float64, seed int64) *Graph {
+	return gen.SparseErdosRenyi(n, p, seed)
+}
+
+// GenSparsePlantedNearClique plants an epsIn-near clique of the given size
+// over a sparse background of expected average degree avgDeg, in O(n+m).
+func GenSparsePlantedNearClique(n, size int, epsIn, avgDeg float64, seed int64) PlantedGraph {
+	return gen.SparsePlantedNearClique(n, size, epsIn, avgDeg, seed)
+}
+
+// GenSparsePreferentialAttachment returns a Barabási–Albert style graph
+// built through the sparse path.
+func GenSparsePreferentialAttachment(n, m int, seed int64) *Graph {
+	return gen.SparsePreferentialAttachment(n, m, seed)
+}
