@@ -2,7 +2,9 @@
 // BENCH_engine.json: per workload and engine, wall time, rounds, frames,
 // payload bytes, and allocation counts, with derived rounds/sec,
 // bytes/sec, and allocs/round. CI runs it on every PR; the committed
-// BENCH_engine.json is the first recorded baseline.
+// BENCH_engine.json is the first recorded baseline. Records use the
+// shared schema of internal/report (the same cost block cmd/nearclique
+// -json emits), so downstream tooling parses both identically.
 //
 // Usage:
 //
@@ -25,33 +27,16 @@ import (
 	"nearclique/internal/expt"
 	"nearclique/internal/gen"
 	"nearclique/internal/graph"
+	"nearclique/internal/report"
 )
 
-// Result is one benchmark measurement.
-type Result struct {
-	Workload      string  `json:"workload"`
-	Engine        string  `json:"engine"`
-	N             int     `json:"n"`
-	M             int     `json:"m"`
-	Rounds        int     `json:"rounds"`
-	Frames        int     `json:"frames"`
-	PayloadBytes  int     `json:"payload_bytes"`
-	WallNS        int64   `json:"wall_ns"`
-	RoundsPerSec  float64 `json:"rounds_per_sec"`
-	MBytesPerSec  float64 `json:"payload_mb_per_sec"`
-	Allocs        uint64  `json:"allocs"`
-	AllocsPerRnd  float64 `json:"allocs_per_round"`
-	RecoveredPct  float64 `json:"recovered_pct,omitempty"`
-	SpeedupLegacy float64 `json:"speedup_vs_legacy,omitempty"`
-}
-
-// Report is the emitted file.
+// Report is the emitted file; each entry is a shared-schema Measurement.
 type Report struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Quick      bool     `json:"quick"`
-	Results    []Result `json:"results"`
+	Generated  string               `json:"generated"`
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Quick      bool                 `json:"quick"`
+	Results    []report.Measurement `json:"results"`
 }
 
 func main() {
@@ -114,7 +99,7 @@ func (p *gossipProc) Recv(ctx *congest.Context, from congest.NodeID, msg congest
 	}
 }
 
-func gossipBenchmarks(stderr io.Writer, quick bool, seed int64) []Result {
+func gossipBenchmarks(stderr io.Writer, quick bool, seed int64) []report.Measurement {
 	n := 5000
 	hops := int32(8)
 	if quick {
@@ -128,7 +113,7 @@ func gossipBenchmarks(stderr io.Writer, quick bool, seed int64) []Result {
 		{"gossip/planted", gen.SparsePlantedNearClique(n, n/5, 0.02, 10, seed).Graph},
 		{"gossip/powerlaw", gen.SparsePreferentialAttachment(n, 8, seed)},
 	}
-	var out []Result
+	var out []report.Measurement
 	for _, gr := range graphs {
 		gr.g.CSR() // build once, outside the timed region
 		var legacyNS int64
@@ -155,9 +140,9 @@ func gossipBenchmarks(stderr io.Writer, quick bool, seed int64) []Result {
 
 // measure runs fn a few times and keeps the fastest wall time (with its
 // metrics), the standard best-of-k discipline for a noisy machine.
-func measure(name string, engine congest.Engine, g *graph.Graph, fn func() *congest.Network) Result {
+func measure(name string, engine congest.Engine, g *graph.Graph, fn func() *congest.Network) report.Measurement {
 	const reps = 3
-	best := Result{Workload: name, Engine: engine.String(), N: g.N(), M: g.M()}
+	best := report.Measurement{Workload: name, Engine: engine.String(), N: g.N(), M: g.M()}
 	for i := 0; i < reps; i++ {
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
@@ -188,8 +173,8 @@ func measure(name string, engine congest.Engine, g *graph.Graph, fn func() *cong
 
 // --- find: full protocol runs at scale ----------------------------------
 
-func findBenchmarks(stderr io.Writer, quick bool, seed int64) []Result {
-	var out []Result
+func findBenchmarks(stderr io.Writer, quick bool, seed int64) []report.Measurement {
+	var out []report.Measurement
 	for _, pt := range expt.ScalePoints(quick) {
 		// The grid, instance, and Find configuration are shared with
 		// experiment E13 (internal/expt/scale.go) so BENCH_engine.json and
@@ -228,12 +213,12 @@ func findBenchmarks(stderr io.Writer, quick bool, seed int64) []Result {
 	return out
 }
 
-func measureFind(name string, engine congest.Engine, g *graph.Graph, fn func() *core.Result) Result {
+func measureFind(name string, engine congest.Engine, g *graph.Graph, fn func() *core.Result) report.Measurement {
 	reps := 3
 	if g.N() >= 1_000_000 {
 		reps = 1
 	}
-	best := Result{Workload: name, Engine: engine.String(), N: g.N(), M: g.M()}
+	best := report.Measurement{Workload: name, Engine: engine.String(), N: g.N(), M: g.M()}
 	for i := 0; i < reps; i++ {
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,11 +30,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sel    = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		trials = fs.Int("trials", 0, "trials per grid point (0 = per-experiment default)")
-		seed   = fs.Int64("seed", 1, "base seed")
-		quick  = fs.Bool("quick", false, "reduced grids for a fast pass")
-		out    = fs.String("o", "", "also write the markdown report to this file")
+		sel     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		trials  = fs.Int("trials", 0, "trials per grid point (0 = per-experiment default)")
+		seed    = fs.Int64("seed", 1, "base seed")
+		quick   = fs.Bool("quick", false, "reduced grids for a fast pass")
+		out     = fs.String("o", "", "also write the markdown report to this file")
+		timeout = fs.Duration("timeout", 0, "stop (between experiments) once this much time has passed; the partial report is still written")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -45,8 +47,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := expt.Config{Trials: *trials, Seed: *seed, Quick: *quick}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	truncated := false
 	var report strings.Builder
 	for _, e := range exps {
+		// Experiments are the unit of cancellation here: a full table is
+		// either present or absent, so partial reports stay well-formed.
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(stderr, "experiments: stopping before %s: %v\n", e.ID, err)
+			truncated = true
+			break
+		}
 		start := time.Now()
 		fmt.Fprintf(stderr, "running %s: %s...\n", e.ID, e.Title)
 		tables := e.Run(cfg)
@@ -63,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
 		}
+	}
+	if truncated {
+		return 1
 	}
 	return 0
 }

@@ -26,7 +26,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		family = fs.String("family", "er",
-			"er | planted | clique | shingles | twocliques | geometric | web")
+			"er | planted | clique | shingles | twocliques | geometric | web | complete | empty | path | cycle | star")
 		n      = fs.Int("n", 100, "node count")
 		p      = fs.Float64("p", 0.1, "edge probability (er) / background (planted)")
 		size   = fs.Int("size", 30, "planted set size (planted, clique)")
@@ -41,36 +41,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var g *nearclique.Graph
-	switch *family {
-	case "er":
-		g = nearclique.GenErdosRenyi(*n, *p, *seed)
-	case "planted":
-		inst := nearclique.GenPlantedNearClique(*n, *size, *epsIn, *p, *seed)
-		fmt.Fprintf(stderr, "# planted set (ε=%.4f): %v\n", inst.EpsActual, inst.D)
-		g = inst.Graph
-	case "clique":
-		inst := nearclique.GenPlantedClique(*n, *size, *p, *seed)
-		fmt.Fprintf(stderr, "# planted clique: %v\n", inst.D)
-		g = inst.Graph
-	case "shingles":
-		inst := nearclique.GenShinglesCounterexample(*n, *delta)
-		fmt.Fprintf(stderr, "# blocks: |C1|=|C2|=%d |I1|=%d |I2|=%d (δ=%.3f)\n",
-			len(inst.C1), len(inst.I1), len(inst.I2), inst.Delta)
-		g = inst.Graph
-	case "twocliques":
-		inst := nearclique.GenTwoCliquesPath(*n, *withA)
-		fmt.Fprintf(stderr, "# |A|=%d |B|=%d |P|=%d\n", len(inst.A), len(inst.B), len(inst.P))
-		g = inst.Graph
-	case "geometric":
-		g, _ = nearclique.GenRandomGeometric(*n, *radius, *seed)
-	case "web":
-		g = nearclique.GenPreferentialAttachment(*n, *m, *seed)
-	default:
-		fmt.Fprintf(stderr, "gengraph: unknown family %q\n", *family)
+	// One unified entry point: Generate dispatches the family and
+	// auto-selects the dense or sparse construction path by (n, expected
+	// m), so gengraph scales to million-node outputs without flags.
+	res, err := nearclique.Generate(nearclique.GenSpec{
+		Family: *family,
+		N:      *n,
+		P:      *p,
+		Size:   *size,
+		EpsIn:  *epsIn,
+		Delta:  *delta,
+		Radius: *radius,
+		M:      *m,
+		WithA:  *withA,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "gengraph:", err)
 		return 2
 	}
-	if err := nearclique.WriteGraph(stdout, g); err != nil {
+	if len(res.Planted) > 0 {
+		fmt.Fprintf(stderr, "# planted set (ε=%.4f): %v\n", res.EpsActual, res.Planted)
+	}
+	if err := nearclique.WriteGraph(stdout, res.Graph); err != nil {
 		fmt.Fprintln(stderr, "gengraph:", err)
 		return 1
 	}

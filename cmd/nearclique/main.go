@@ -1,5 +1,6 @@
 // Command nearclique finds large near-cliques in a graph read from an
-// edge-list file (or stdin), using Algorithm DistNearClique.
+// edge-list file (or stdin), using Algorithm DistNearClique via the
+// Solver API.
 //
 // Usage:
 //
@@ -8,16 +9,26 @@
 // Examples:
 //
 //	gengraph -family planted -n 500 -size 150 | nearclique -eps 0.25 -s 6
-//	nearclique -eps 0.2 -s 8 -boost 4 -mode dist web.edges
+//	nearclique -eps 0.2 -s 8 -boost 4 -engine sharded web.edges
+//	nearclique -engine sharded -timeout 30s -json web.edges
+//
+// With -json the result is emitted as the machine-readable schema shared
+// with cmd/bench (internal/report): engine, graph shape, cost block
+// (rounds/frames/payload_bytes/wall_ns), candidates, and — for failed or
+// canceled runs — the error alongside the partial costs.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"nearclique"
+	"nearclique/internal/report"
 )
 
 func main() {
@@ -28,18 +39,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nearclique", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		eps     = fs.Float64("eps", 0.25, "near-clique parameter ε ∈ (0, 0.5)")
-		s       = fs.Float64("s", 6, "expected sample size s = p·n")
-		p       = fs.Float64("p", 0, "sampling probability (overrides -s when set)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		boost   = fs.Int("boost", 1, "boosting versions λ (Section 4.1)")
-		minSize = fs.Int("minsize", 0, "disqualify near-cliques smaller than this")
-		mode    = fs.String("mode", "seq", `"dist" (CONGEST simulator) or "seq" (reference)`)
-		maxR    = fs.Int("maxrounds", 0, "deterministic round bound (0 = unlimited; dist mode)")
-		async   = fs.Bool("async", false, "run on the asynchronous executor with an α-synchronizer (dist mode)")
-		quiet   = fs.Bool("q", false, "print only the summary line")
+		eps      = fs.Float64("eps", 0.25, "near-clique parameter ε ∈ (0, 0.5)")
+		s        = fs.Float64("s", 6, "expected sample size s = p·n")
+		p        = fs.Float64("p", 0, "sampling probability (overrides -s when set)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		boost    = fs.Int("boost", 1, "boosting versions λ (Section 4.1)")
+		minSize  = fs.Int("minsize", 0, "disqualify near-cliques smaller than this")
+		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async (overrides -mode)")
+		mode     = fs.String("mode", "seq", `deprecated: "dist" (= -engine sharded) or "seq" (= -engine seq)`)
+		maxR     = fs.Int("maxrounds", 0, "deterministic round bound (0 = unlimited; simulator engines)")
+		async    = fs.Bool("async", false, "deprecated: same as -engine async")
+		timeout  = fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+		jsonOut  = fs.Bool("json", false, "emit the machine-readable result schema shared with cmd/bench")
+		quiet    = fs.Bool("q", false, "print only the summary line")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	engine, errc := resolveEngine(*engineFl, *mode, *async)
+	if errc != nil {
+		fmt.Fprintln(stderr, "nearclique:", errc)
 		return 2
 	}
 
@@ -59,37 +79,67 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	opts := nearclique.Options{
-		Epsilon:        *eps,
-		P:              *p,
-		ExpectedSample: *s,
-		Seed:           *seed,
-		Versions:       *boost,
-		MinSize:        *minSize,
-		MaxRounds:      *maxR,
-		Async:          *async,
+	opts := []nearclique.Option{
+		nearclique.WithEngine(engine),
+		nearclique.WithEpsilon(*eps),
+		nearclique.WithSeed(*seed),
+		nearclique.WithVersions(*boost),
 	}
-	var res *nearclique.Result
-	switch *mode {
-	case "dist":
-		res, err = nearclique.Find(g, opts)
-	case "seq":
-		res, err = nearclique.FindSequential(g, opts)
-	default:
-		fmt.Fprintf(stderr, "nearclique: unknown mode %q\n", *mode)
-		return 2
+	if *p > 0 {
+		opts = append(opts, nearclique.WithSamplingProbability(*p))
+	} else {
+		opts = append(opts, nearclique.WithExpectedSample(*s))
 	}
+	if *minSize > 0 {
+		opts = append(opts, nearclique.WithMinSize(*minSize))
+	}
+	if *maxR > 0 {
+		opts = append(opts, nearclique.WithMaxRounds(*maxR))
+	}
+	solver, err := nearclique.New(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "nearclique:", err)
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, solveErr := solver.Solve(ctx, g)
+	wall := time.Since(start)
+
+	if *jsonOut {
+		rec := report.FromResult(engine.String(), g, res, wall, solveErr)
+		enc, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "nearclique:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(enc))
+		if solveErr != nil {
+			return 1
+		}
+		return 0
+	}
+
+	if solveErr != nil {
+		fmt.Fprintln(stderr, "nearclique:", solveErr)
 		return 1
 	}
 
+	simulated := engine == nearclique.EngineSharded || engine == nearclique.EngineLegacy ||
+		engine == nearclique.EngineAsync
 	fmt.Fprintf(stdout, "graph: n=%d m=%d | found %d near-clique(s)",
 		g.N(), g.M(), len(res.Candidates))
-	if *mode == "dist" {
+	if simulated {
 		fmt.Fprintf(stdout, " | rounds=%d frames=%d maxFrameBits=%d",
 			res.Metrics.Rounds, res.Metrics.Frames, res.Metrics.MaxFrameBits)
-		if *async {
+		if engine == nearclique.EngineAsync {
 			fmt.Fprintf(stdout, " | acks=%d safes=%d vtime=%d",
 				res.Metrics.AsyncAcks, res.Metrics.AsyncSafes, res.Metrics.AsyncVirtualTime)
 		}
@@ -105,4 +155,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "   sample subset X: %v\n", c.SubsetX)
 	}
 	return 0
+}
+
+// resolveEngine merges the -engine flag with the deprecated -mode/-async
+// spellings: -engine wins when set; otherwise "dist" maps to the sharded
+// simulator (async executor with -async) and "seq" to the sequential
+// reference, exactly the engines those modes always ran.
+func resolveEngine(engineFlag, mode string, async bool) (nearclique.Engine, error) {
+	if engineFlag != "" {
+		return nearclique.ParseEngine(engineFlag)
+	}
+	switch mode {
+	case "dist":
+		if async {
+			return nearclique.EngineAsync, nil
+		}
+		return nearclique.EngineSharded, nil
+	case "seq":
+		// The sequential reference has no executor; -async never applied
+		// to it, and still doesn't.
+		return nearclique.EngineSequential, nil
+	}
+	return nearclique.EngineAuto, fmt.Errorf("unknown mode %q", mode)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -55,6 +56,65 @@ func TestRunBadInput(t *testing.T) {
 	}
 	if code := run([]string{"nonexistent-file.edges"}, strings.NewReader(""), &out, &errOut); code == 0 {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEngineFlag(t *testing.T) {
+	for _, engine := range []string{"auto", "seq", "sharded", "legacy", "async"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-engine", engine, "-eps", "0.25", "-s", "5", "-q"},
+			strings.NewReader(edgeList(t)), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d: %s", engine, code, errOut.String())
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-engine", "quantum"}, strings.NewReader("0 1\n"), &out, &errOut); code != 2 {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-engine", "sharded", "-eps", "0.25", "-s", "7", "-seed", "3", "-json"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	var rec struct {
+		Engine     string `json:"engine"`
+		N          int    `json:"n"`
+		Rounds     int    `json:"rounds"`
+		WallNS     int64  `json:"wall_ns"`
+		Candidates []struct {
+			Size    int     `json:"size"`
+			Density float64 `json:"density"`
+		} `json:"candidates"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rec.Engine != "sharded" || rec.N != 100 || rec.Rounds == 0 || rec.Error != "" {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+}
+
+func TestRunTimeoutProducesContextError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-engine", "sharded", "-timeout", "1ns", "-json"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("timed-out run exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var rec struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(rec.Error, "deadline") {
+		t.Fatalf("timeout error missing from record: %+v", rec)
 	}
 }
 

@@ -1,0 +1,122 @@
+package nearclique_test
+
+// Godoc examples for the Solver API. These run under `go test`, so the
+// documented quickstart is exercised — and its output pinned — on every
+// CI run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"nearclique"
+)
+
+// Example builds a planted instance, configures a reusable Solver on the
+// sharded CONGEST simulator, and solves one graph.
+func Example() {
+	inst := nearclique.GenPlantedNearClique(500, 150, 0.01, 0.05, 1)
+
+	s, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithEpsilon(0.25),
+		nearclique.WithExpectedSample(6),
+		nearclique.WithSeed(1),
+		nearclique.WithVersions(3),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Solve(context.Background(), inst.Graph)
+	if err != nil {
+		panic(err)
+	}
+	best := res.Best()
+	fmt.Printf("found a near-clique of %d nodes (density %.3f) in %d rounds\n",
+		len(best.Members), best.Density, res.Metrics.Rounds)
+	// Output: found a near-clique of 149 nodes (density 0.990) in 62 rounds
+}
+
+// Example_solveBatch serves several immutable graphs concurrently with
+// one Solver; results are index-aligned and identical to solo solves.
+func Example_solveBatch() {
+	var graphs []*nearclique.Graph
+	for seed := int64(1); seed <= 3; seed++ {
+		graphs = append(graphs, nearclique.GenPlantedNearClique(300, 100, 0.01, 0.04, seed).Graph)
+	}
+
+	s, err := nearclique.New(
+		nearclique.WithEpsilon(0.25),
+		nearclique.WithSeed(7),
+		nearclique.WithVersions(3),
+		nearclique.WithBatchWorkers(8),
+	)
+	if err != nil {
+		panic(err)
+	}
+	results, err := s.SolveBatch(context.Background(), graphs)
+	if err != nil {
+		panic(err)
+	}
+	for i, res := range results {
+		fmt.Printf("graph %d: best near-clique has %d nodes\n", i, len(res.Best().Members))
+	}
+	// Output:
+	// graph 0: best near-clique has 99 nodes
+	// graph 1: best near-clique has 99 nodes
+	// graph 2: best near-clique has 98 nodes
+}
+
+// Example_cancellation shows the context contract: cancellation surfaces
+// as a wrapped context.Canceled, never a bespoke error, and the returned
+// result still carries the metrics accumulated before the interruption.
+func Example_cancellation() {
+	g := nearclique.GenPlantedNearClique(400, 120, 0.01, 0.04, 2).Graph
+	s, err := nearclique.New(nearclique.WithEngine(nearclique.EngineSharded))
+	if err != nil {
+		panic(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the run: it stops at the first round boundary
+
+	res, err := s.Solve(ctx, g)
+	fmt.Println("canceled:", errors.Is(err, context.Canceled))
+	fmt.Println("partial result returned:", res != nil)
+
+	// Deadlines work the same way.
+	ctx, cancel = context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = s.Solve(ctx, g)
+	fmt.Println("deadline exceeded:", errors.Is(err, context.DeadlineExceeded))
+	// Output:
+	// canceled: true
+	// partial result returned: true
+	// deadline exceeded: true
+}
+
+// Example_progress installs a per-step progress callback — the serving
+// hook for liveness, logging, and cancellation decisions.
+func Example_progress() {
+	g := nearclique.GenPlantedNearClique(300, 90, 0.01, 0.04, 3).Graph
+
+	steps := 0
+	var last nearclique.Progress
+	s, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithVersions(2),
+		nearclique.WithProgress(func(p nearclique.Progress) {
+			steps++
+			last = p
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := s.Solve(context.Background(), g); err != nil {
+		panic(err)
+	}
+	fmt.Printf("observed %d of %d steps; final phase %q\n", steps, last.Total, last.Phase)
+	// Output: observed 26 of 26 steps; final phase "commit"
+}

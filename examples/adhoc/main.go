@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"nearclique"
 )
@@ -34,8 +36,9 @@ func run(w io.Writer) error {
 	g, pos := nearclique.GenRandomGeometric(radios, radius, seed)
 
 	// Add a dense hotspot: 40 radios packed into one corner cell, all
-	// within range of each other.
-	b := nearclique.NewBuilder(radios)
+	// within range of each other. The unified builder picks the graph
+	// representation from the final (n, m).
+	b := nearclique.NewGraphBuilder(radios)
 	for _, e := range g.Edges() {
 		b.AddEdge(e[0], e[1])
 	}
@@ -51,18 +54,30 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "ad-hoc network: %d radios, %d in-range pairs; hotspot of %d mutually interfering radios\n",
 		g.N(), g.M(), len(hotspot))
 
-	res, err := nearclique.Find(g, nearclique.Options{
-		Epsilon:        0.3,
-		ExpectedSample: 6,
-		Seed:           seed,
-		Versions:       3,
-		MinSize:        10,
-	})
+	// Field deployments need liveness and a budget: a progress callback
+	// reports every completed phase, and the context deadline aborts
+	// cleanly (with partial metrics) if the radios fall behind.
+	steps := 0
+	solver, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithEpsilon(0.3),
+		nearclique.WithExpectedSample(6),
+		nearclique.WithSeed(seed),
+		nearclique.WithVersions(3),
+		nearclique.WithMinSize(10),
+		nearclique.WithProgress(func(nearclique.Progress) { steps++ }),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "CONGEST cost: %d rounds, max message %d bits\n",
-		res.Metrics.Rounds, res.Metrics.MaxFrameBits)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := solver.Solve(ctx, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "CONGEST cost: %d rounds over %d phases, max message %d bits\n",
+		res.Metrics.Rounds, steps, res.Metrics.MaxFrameBits)
 
 	if len(res.Candidates) == 0 {
 		fmt.Fprintln(w, "no interference cluster found — retry with another seed")

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -33,17 +34,35 @@ func run(w io.Writer) error {
 		seed = 41
 	)
 	inst := nearclique.GenPlantedNearClique(n, n/3, eps*eps*eps, 0.04, seed)
-	base := nearclique.Options{Epsilon: eps, ExpectedSample: 6, Seed: seed, Versions: 2}
 
-	syncRes, err := nearclique.Find(inst.Graph, base)
+	// Engines are a Solver option: the same configuration runs on the
+	// synchronous sharded simulator or the asynchronous executor, and the
+	// outputs are bit-for-bit identical.
+	base := []nearclique.Option{
+		nearclique.WithEpsilon(eps),
+		nearclique.WithExpectedSample(6),
+		nearclique.WithSeed(seed),
+		nearclique.WithVersions(2),
+	}
+	ctx := context.Background()
+
+	syncSolver, err := nearclique.New(append(base, nearclique.WithEngine(nearclique.EngineSharded))...)
+	if err != nil {
+		return err
+	}
+	syncRes, err := syncSolver.Solve(ctx, inst.Graph)
 	if err != nil {
 		return err
 	}
 
-	asyncOpts := base
-	asyncOpts.Async = true
-	asyncOpts.AsyncMaxDelay = 7 // messages take 1..7 virtual time units
-	asyncRes, err := nearclique.Find(inst.Graph, asyncOpts)
+	asyncSolver, err := nearclique.New(append(base,
+		nearclique.WithEngine(nearclique.EngineAsync),
+		nearclique.WithAsyncMaxDelay(7), // messages take 1..7 virtual time units
+	)...)
+	if err != nil {
+		return err
+	}
+	asyncRes, err := asyncSolver.Solve(ctx, inst.Graph)
 	if err != nil {
 		return err
 	}

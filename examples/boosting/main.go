@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,17 +36,23 @@ func run(w io.Writer) error {
 	inst := nearclique.GenPlantedClique(n, dSize, 0.02, seed)
 	fmt.Fprintf(w, "planted clique: %d of %d nodes; deliberately small sample s=4\n\n", dSize, n)
 
+	ctx := context.Background()
 	fmt.Fprintf(w, "%-4s %-10s %-12s %-10s\n", "λ", "success", "rounds", "best size")
 	for _, lambda := range []int{1, 2, 4, 8} {
 		wins, rounds, bestSize := 0, 0, 0
 		const trials = 5
 		for t := 0; t < trials; t++ {
-			res, err := nearclique.Find(inst.Graph, nearclique.Options{
-				Epsilon:        eps,
-				ExpectedSample: 4,
-				Seed:           seed + int64(t)*1000,
-				Versions:       lambda,
-			})
+			solver, err := nearclique.New(
+				nearclique.WithEngine(nearclique.EngineSharded),
+				nearclique.WithEpsilon(eps),
+				nearclique.WithExpectedSample(4),
+				nearclique.WithSeed(seed+int64(t)*1000),
+				nearclique.WithVersions(lambda),
+			)
+			if err != nil {
+				return err
+			}
+			res, err := solver.Solve(ctx, inst.Graph)
 			if err != nil {
 				continue
 			}
@@ -63,12 +70,17 @@ func run(w io.Writer) error {
 
 	// The deterministic running-time wrapper: bound the rounds and abort.
 	fmt.Fprintln(w, "\ndeterministic time bound (Section 4.1):")
-	_, err := nearclique.Find(inst.Graph, nearclique.Options{
-		Epsilon:        eps,
-		ExpectedSample: 8,
-		Seed:           seed,
-		MaxRounds:      10, // far too few — the run aborts with all-⊥ outputs
-	})
+	bounded, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithEpsilon(eps),
+		nearclique.WithExpectedSample(8),
+		nearclique.WithSeed(seed),
+		nearclique.WithMaxRounds(10), // far too few — the run aborts with all-⊥ outputs
+	)
+	if err != nil {
+		return err
+	}
+	_, err = bounded.Solve(ctx, inst.Graph)
 	if errors.Is(err, nearclique.ErrRoundLimit) {
 		fmt.Fprintln(w, "  MaxRounds=10 exceeded as expected:", err)
 	} else if err != nil {

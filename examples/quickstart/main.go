@@ -1,10 +1,12 @@
 // Quickstart: plant an ε³-near clique in a random graph, run the full
-// distributed algorithm on the CONGEST simulator, and inspect the result.
+// distributed algorithm on the CONGEST simulator through the Solver API,
+// and inspect the result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -29,18 +31,32 @@ func run(w io.Writer) error {
 		seed  = 7
 	)
 	// Plant an ε³-near clique of δn nodes over a sparse background — the
-	// exact promise of Theorem 5.7.
+	// exact promise of Theorem 5.7. Generate picks the dense or sparse
+	// construction path automatically.
 	plantEps := eps * eps * eps
-	inst := nearclique.GenPlantedNearClique(n, int(delta*float64(n)), plantEps, 0.04, seed)
-	fmt.Fprintf(w, "planted a %.4f-near clique of %d nodes in G(%d, 0.04)\n",
-		inst.EpsActual, len(inst.D), n)
-
-	res, err := nearclique.Find(inst.Graph, nearclique.Options{
-		Epsilon:        eps,
-		ExpectedSample: 6, // s = p·n
-		Seed:           seed,
-		Versions:       3, // boost the Ω(1) success probability (Section 4.1)
+	inst, err := nearclique.Generate(nearclique.GenSpec{
+		Family: "planted", N: n, Size: int(delta * float64(n)),
+		EpsIn: plantEps, P: 0.04, Seed: seed,
 	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "planted a %.4f-near clique of %d nodes in G(%d, 0.04)\n",
+		inst.EpsActual, len(inst.Planted), n)
+
+	// A Solver is configured once and reusable (and goroutine-safe); the
+	// sharded CONGEST simulator measures real rounds, frames, and bits.
+	solver, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithEpsilon(eps),
+		nearclique.WithExpectedSample(6), // s = p·n
+		nearclique.WithSeed(seed),
+		nearclique.WithVersions(3), // boost the Ω(1) success probability (Section 4.1)
+	)
+	if err != nil {
+		return err
+	}
+	res, err := solver.Solve(context.Background(), inst.Graph)
 	if err != nil {
 		return err
 	}
@@ -59,7 +75,7 @@ func run(w io.Writer) error {
 
 	// How much of the planted set did we recover?
 	planted := map[int]bool{}
-	for _, v := range inst.D {
+	for _, v := range inst.Planted {
 		planted[v] = true
 	}
 	hit := 0
@@ -69,6 +85,6 @@ func run(w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "  %d/%d members are from the planted set (recovered %.0f%% of it)\n",
-		hit, len(best.Members), 100*float64(hit)/float64(len(inst.D)))
+		hit, len(best.Members), 100*float64(hit)/float64(len(inst.Planted)))
 	return nil
 }

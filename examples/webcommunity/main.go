@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -38,13 +40,20 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "web graph: %d nodes, %d edges; embedded a %.2f-near clique community of %d pages\n",
 		g.N(), g.M(), commEps, len(community))
 
-	res, err := nearclique.FindSequential(g, nearclique.Options{
-		Epsilon:        eps,
-		ExpectedSample: 7,
-		Seed:           seed,
-		Versions:       4, // boost: web graphs are noisy
-		MinSize:        minReport,
-	})
+	// EngineAuto = the sequential reference: same outputs as the
+	// simulator, the right default when no metrics are needed.
+	solver, err := nearclique.New(
+		nearclique.WithEpsilon(eps),
+		nearclique.WithExpectedSample(7),
+		nearclique.WithSeed(seed),
+		nearclique.WithVersions(4), // boost: web graphs are noisy
+		nearclique.WithMinSize(minReport),
+	)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	res, err := solver.Solve(ctx, g)
 	if err != nil {
 		return err
 	}
@@ -78,5 +87,18 @@ func run(w io.Writer) error {
 		len(peel), avgDeg, nearclique.Density(g, peel), hit)
 	fmt.Fprintln(w, "\nnote: peel optimizes a different objective — it finds the densest core by average degree,")
 	fmt.Fprintln(w, "while DistNearClique targets Definition-1 density (fraction of present pairs).")
+
+	// How tight is the community really? Search bisects ε for the
+	// smallest value at which a community of ≥ 12% of the graph is still
+	// reported — the data-driven way to pick the detection parameter.
+	minEps, _, err := solver.Search(ctx, g, 0.12)
+	switch {
+	case errors.Is(err, nearclique.ErrNotFound):
+		fmt.Fprintln(w, "\nε-search: no community of that size at any probed ε")
+	case err != nil:
+		return err
+	default:
+		fmt.Fprintf(w, "\nε-search: smallest detection parameter for a ≥12%% community: ε ≈ %.3f\n", minEps)
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package congest
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -133,9 +134,16 @@ func (e *asyncEngine) chargeSends(v NodeID) {
 	c.pendingActivations = c.pendingActivations[:0]
 }
 
+// asyncCtxCheckEvery bounds how many events the asynchronous executor
+// processes between context checks: individual events are microseconds of
+// work, so polling ctx.Err() on each would dominate, while a few thousand
+// events stay well inside one synchronous round's worth of work.
+const asyncCtxCheckEvery = 4096
+
 // runPhase executes one phase asynchronously. Returns ErrRoundLimit if any
-// node's round counter exceeds the configured bound.
-func (e *asyncEngine) runPhase(name string) error {
+// node's round counter exceeds the configured bound, or a wrapped
+// context error when ctx is canceled mid-phase.
+func (e *asyncEngine) runPhase(ctx context.Context, name string) error {
 	net := e.net
 	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
 	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]
@@ -164,7 +172,12 @@ func (e *asyncEngine) runPhase(name string) error {
 	}
 
 	maxRound := int32(0)
-	for e.outstanding > 0 && e.queue.Len() > 0 {
+	for processed := 0; e.outstanding > 0 && e.queue.Len() > 0; processed++ {
+		if processed%asyncCtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return phaseInterrupted(name, net.metrics.Rounds+int(maxRound), err)
+			}
+		}
 		ev := heap.Pop(&e.queue).(*event)
 		e.now = ev.time
 		switch ev.kind {

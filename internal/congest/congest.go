@@ -32,6 +32,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -427,11 +428,21 @@ func (c *Context) Broadcast(msg Message) {
 // rounds until the network is quiescent. Returns ErrRoundLimit if the
 // configured MaxRounds is exceeded.
 func (net *Network) RunPhase(name string) error {
+	return net.RunPhaseContext(context.Background(), name)
+}
+
+// RunPhaseContext is RunPhase with cooperative cancellation: the context is
+// checked at every round boundary (and periodically inside the event-driven
+// asynchronous executor), so a long phase stops within one round's worth of
+// work of ctx being canceled. The returned error wraps ctx.Err(), so
+// callers observe context.Canceled or context.DeadlineExceeded through
+// errors.Is; metrics accumulated up to the interrupted round remain valid.
+func (net *Network) RunPhaseContext(ctx context.Context, name string) error {
 	if net.async != nil {
-		return net.async.runPhase(name)
+		return net.async.runPhase(ctx, name)
 	}
 	if net.sharded != nil {
-		return net.sharded.runPhase(name)
+		return net.sharded.runPhase(ctx, name)
 	}
 	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
 	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]
@@ -443,6 +454,9 @@ func (net *Network) RunPhase(name string) error {
 	net.mergeActivations(net.ctxs)
 
 	for len(net.activeEdges) > 0 {
+		if err := ctx.Err(); err != nil {
+			return phaseInterrupted(name, net.metrics.Rounds, err)
+		}
 		if net.opts.MaxRounds > 0 && net.metrics.Rounds >= net.opts.MaxRounds {
 			return fmt.Errorf("%w: %d rounds (phase %s)", ErrRoundLimit, net.metrics.Rounds, name)
 		}
@@ -450,6 +464,11 @@ func (net *Network) RunPhase(name string) error {
 	}
 	net.currentPhase = nil
 	return nil
+}
+
+// phaseInterrupted wraps a context error observed at a round boundary.
+func phaseInterrupted(name string, rounds int, err error) error {
+	return fmt.Errorf("congest: phase %s interrupted after %d rounds: %w", name, rounds, err)
 }
 
 // stepRound delivers one frame per active directed edge, then lets every

@@ -1,6 +1,8 @@
 package congest
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -196,6 +198,98 @@ func TestSeedChangesTranscript(t *testing.T) {
 	g := gen.ErdosRenyi(150, 0.05, 3)
 	if runChatty(t, g, Options{Seed: 1}, 2) == runChatty(t, g, Options{Seed: 2}, 2) {
 		t.Fatal("transcripts identical across different seeds; protocol not exercising randomness")
+	}
+}
+
+// cancelingProc is chattyProc plus a deterministic mid-phase trigger: the
+// first node to process a frame in round atRound cancels the shared
+// context. Engines only observe cancellation at round boundaries, so the
+// partial transcript must be exactly the first atRound rounds — identical
+// across engines and repeated runs.
+type cancelingProc struct {
+	chattyProc
+	cancel  context.CancelFunc
+	atRound int
+}
+
+func (p *cancelingProc) Recv(ctx *Context, from NodeID, msg Message) {
+	p.chattyProc.Recv(ctx, from, msg)
+	if ctx.Round() == p.atRound {
+		p.cancel()
+	}
+}
+
+func cancelTranscript(net *Network) string {
+	var b strings.Builder
+	m := net.Metrics()
+	fmt.Fprintf(&b, "rounds=%d frames=%d bits=%d maxframe=%d\n",
+		m.Rounds, m.Frames, m.Bits, m.MaxFrameBits)
+	for v := 0; v < net.Graph().N(); v++ {
+		p := net.Proc(v).(*cancelingProc)
+		fmt.Fprintf(&b, "node %d: heard=%d sum=%d\n", v, p.heard, p.sum)
+	}
+	return b.String()
+}
+
+// TestCancelMidPhaseDeterministicPartialTranscript pins the cancellation
+// contract on both synchronous engines: the error wraps context.Canceled,
+// exactly atRound rounds of metrics survive, and the partial transcript
+// is bit-identical across engines and repeated runs.
+func TestCancelMidPhaseDeterministicPartialTranscript(t *testing.T) {
+	const atRound = 3
+	g := gen.ErdosRenyi(200, 0.05, 3)
+	run := func(engine Engine) (string, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		net := NewNetwork(g, Options{Seed: 42, Engine: engine}, func(*Context) Proc {
+			return &cancelingProc{cancel: cancel, atRound: atRound}
+		})
+		err := net.RunPhaseContext(ctx, "p0")
+		if net.Metrics().Rounds != atRound {
+			t.Fatalf("engine %v ran %d rounds, want exactly %d before observing cancellation",
+				engine, net.Metrics().Rounds, atRound)
+		}
+		return cancelTranscript(net), err
+	}
+	var want string
+	for _, engine := range []Engine{EngineSharded, EngineLegacy} {
+		a, errA := run(engine)
+		b, errB := run(engine)
+		if !errors.Is(errA, context.Canceled) || !errors.Is(errB, context.Canceled) {
+			t.Fatalf("engine %v: cancellation error does not wrap context.Canceled: %v / %v",
+				engine, errA, errB)
+		}
+		if a != b {
+			t.Fatalf("engine %v: repeated canceled runs differ:\n%s\nvs\n%s", engine, a, b)
+		}
+		if want == "" {
+			want = a
+		} else if a != want {
+			t.Fatalf("partial transcripts differ across engines:\n%s\nvs\n%s", a, want)
+		}
+	}
+}
+
+// TestExpiredContextStopsBeforeFirstRound pins the boundary case on all
+// three engines: with a context that is already done, RunPhaseContext
+// returns a wrapped context error after PhaseStart but before any round.
+func TestExpiredContextStopsBeforeFirstRound(t *testing.T) {
+	g := gen.ErdosRenyi(100, 0.05, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opts := range []Options{
+		{Seed: 1, Engine: EngineSharded},
+		{Seed: 1, Engine: EngineLegacy},
+		{Seed: 1, Async: true},
+	} {
+		net := NewNetwork(g, opts, func(*Context) Proc { return &chattyProc{} })
+		err := net.RunPhaseContext(ctx, "p0")
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("opts %+v: want wrapped context.Canceled, got %v", opts, err)
+		}
+		if r := net.Metrics().Rounds; r != 0 {
+			t.Fatalf("opts %+v: %d rounds ran under an already-canceled context", opts, r)
+		}
 	}
 }
 

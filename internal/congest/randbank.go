@@ -1,0 +1,37 @@
+package congest
+
+import "math/rand"
+
+// RandBank owns a growable array of per-node counter RNGs that can be
+// re-keyed in place. A sequential replay of an n-node run needs n
+// independent streams (see NewNodeRand); allocating them fresh is 2n
+// allocations per run, which dominates the allocation profile of batch
+// serving where the same solver replays many graphs back to back. A bank
+// amortizes that: Rands re-keys the existing generators to the requested
+// (seed, node) streams and only allocates when n outgrows the bank.
+//
+// The streams handed out are bit-identical to NewNodeRand's — re-keying
+// resets every generator to the exact state a fresh NewNodeRand(seed, v)
+// would start in — so pooled and unpooled runs produce the same coin flips.
+//
+// A RandBank is not safe for concurrent use; callers pool whole banks
+// (e.g. via sync.Pool) rather than sharing one.
+type RandBank struct {
+	rands []*rand.Rand
+}
+
+// Rands returns n per-node RNGs keyed to seed, growing the bank as needed.
+// The slice and the generators are owned by the bank and are invalidated
+// by the next call.
+func (b *RandBank) Rands(seed int64, n int) []*rand.Rand {
+	for len(b.rands) < n {
+		b.rands = append(b.rands, rand.New(&counterSource{}))
+	}
+	rs := b.rands[:n]
+	for v, r := range rs {
+		// Seed resets the counter source to the same state NewNodeRand
+		// starts from, and clears the Rand's cached read state.
+		r.Seed(splitSeed(seed, int64(v)))
+	}
+	return rs
+}

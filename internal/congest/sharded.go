@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -143,7 +144,7 @@ func (e *shardedEngine) totalActive() int {
 // runPhase mirrors the legacy RunPhase contract exactly: PhaseStart on
 // every node, then rounds until no frame is queued anywhere, with the same
 // round/frame/bit accounting and the same ErrRoundLimit condition.
-func (e *shardedEngine) runPhase(name string) error {
+func (e *shardedEngine) runPhase(ctx context.Context, name string) error {
 	net := e.net
 	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
 	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]
@@ -156,6 +157,9 @@ func (e *shardedEngine) runPhase(name string) error {
 		active := e.totalActive()
 		if active == 0 {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return phaseInterrupted(name, net.metrics.Rounds, err)
 		}
 		if net.opts.MaxRounds > 0 && net.metrics.Rounds >= net.opts.MaxRounds {
 			return fmt.Errorf("%w: %d rounds (phase %s)", ErrRoundLimit, net.metrics.Rounds, name)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -118,6 +120,80 @@ func TestFindAsyncMatchesSyncOnShardedEngine(t *testing.T) {
 		if sync.Metrics.Frames != async.Metrics.Frames || sync.Metrics.Bits != async.Metrics.Bits {
 			t.Fatalf("%s: async frames/bits differ from sync", name)
 		}
+	}
+}
+
+// TestFindContextCancelDeterministicPartialMetrics pins the full-protocol
+// cancellation contract: canceling between phases (via the Progress hook,
+// which fires deterministically) returns a wrapped context.Canceled with
+// all-⊥ labels and valid partial metrics, and the partial metric
+// transcript is bit-identical across repeated runs and across engines.
+func TestFindContextCancelDeterministicPartialMetrics(t *testing.T) {
+	const cancelAfterStep = 5
+	g := gen.PlantedNearClique(400, 120, 0.01, 0.02, 5).Graph
+	run := func(engine congest.Engine) (string, *Result, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		res, err := FindContext(ctx, g, Options{
+			Epsilon: 0.25, ExpectedSample: 6, Seed: 3, Versions: 2, Engine: engine,
+			Progress: func(p Progress) {
+				if p.Step == cancelAfterStep {
+					cancel()
+				}
+			},
+		})
+		return resultTranscript(res, true), res, err
+	}
+	var want string
+	for _, engine := range []congest.Engine{congest.EngineSharded, congest.EngineLegacy} {
+		a, res, errA := run(engine)
+		b, _, errB := run(engine)
+		if !errors.Is(errA, context.Canceled) || !errors.Is(errB, context.Canceled) {
+			t.Fatalf("engine %v: want wrapped context.Canceled, got %v / %v", engine, errA, errB)
+		}
+		for i, l := range res.Labels {
+			if l != NoLabel {
+				t.Fatalf("engine %v: node %d labeled %d in an aborted run", engine, i, l)
+			}
+		}
+		if len(res.Metrics.Phases) == 0 || res.Metrics.Rounds == 0 {
+			t.Fatalf("engine %v: canceled run carries no partial metrics", engine)
+		}
+		if a != b {
+			t.Fatalf("engine %v: repeated canceled runs differ:\n%s\nvs\n%s", engine, a, b)
+		}
+		if want == "" {
+			want = a
+		} else if a != want {
+			t.Fatalf("canceled partial transcripts differ across engines:\n%s\nvs\n%s", a, want)
+		}
+	}
+}
+
+// TestFindSequentialCancelBetweenVersions pins the sequential engine's
+// cancellation points: the Progress hook after version 0 cancels, version
+// 1 never runs, and the partial result still carries version 0's sample
+// size.
+func TestFindSequentialCancelBetweenVersions(t *testing.T) {
+	g := gen.PlantedNearClique(400, 120, 0.01, 0.02, 5).Graph
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := FindSequentialContext(ctx, g, Options{
+		Epsilon: 0.25, ExpectedSample: 6, Seed: 3, Versions: 3,
+		Progress: func(p Progress) {
+			if p.Version == 0 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if res.SampleSizes[0] == 0 {
+		t.Fatal("version 0 sample size missing from partial result")
+	}
+	if res.SampleSizes[1] != 0 || res.SampleSizes[2] != 0 {
+		t.Fatalf("versions after the cancellation point ran: %v", res.SampleSizes)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nearclique/internal/congest"
@@ -26,6 +27,17 @@ type driver struct {
 // Result still carries the metrics accumulated so far with all-⊥ labels
 // (the paper's abort wrapper).
 func Find(g *graph.Graph, opts Options) (*Result, error) {
+	return FindContext(context.Background(), g, opts)
+}
+
+// FindContext is Find with cooperative cancellation: the context is
+// observed at every simulator round boundary, so canceling mid-run on even
+// a million-node instance returns within one round's worth of work. The
+// error then wraps context.Canceled or context.DeadlineExceeded
+// (errors.Is-visible), and the returned Result carries the metrics of
+// every round completed before the interruption with all-⊥ labels, like
+// the paper's abort wrapper.
+func FindContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts, err := opts.validated(g.N())
 	if err != nil {
 		return nil, err
@@ -75,13 +87,28 @@ func Find(g *graph.Graph, opts Options) (*Result, error) {
 		phaseShare, phaseLeafClaim, phaseKBits, phaseKSum, phaseKDown,
 		phaseTSum, phaseAnnounce,
 	}
+	step := 0
+	total := opts.Versions*len(explorationPhases) + 2
+	report := func(version int, phase string) {
+		step++
+		if opts.Progress == nil {
+			return
+		}
+		m := d.net.Metrics()
+		opts.Progress(Progress{
+			Version: version, Phase: phase, Step: step, Total: total,
+			Rounds: m.Rounds, Frames: m.Frames,
+		})
+	}
 	for v := 0; v < opts.Versions; v++ {
 		d.version = v
 		for _, ph := range explorationPhases {
 			d.phase = ph
-			if err := d.net.RunPhase(fmt.Sprintf("v%d/%s", v, phaseNames[ph])); err != nil {
+			name := fmt.Sprintf("v%d/%s", v, phaseNames[ph])
+			if err := d.net.RunPhaseContext(ctx, name); err != nil {
 				return abort(err)
 			}
+			report(v, name)
 			switch ph {
 			case phaseSample:
 				res.SampleSizes[v] = d.sampleSize(v)
@@ -98,9 +125,10 @@ func Find(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	for _, ph := range []int{phaseVote, phaseCommit} {
 		d.phase = ph
-		if err := d.net.RunPhase(phaseNames[ph]); err != nil {
+		if err := d.net.RunPhaseContext(ctx, phaseNames[ph]); err != nil {
 			return abort(err)
 		}
+		report(-1, phaseNames[ph])
 	}
 
 	// Extract outputs.

@@ -81,6 +81,36 @@ type Options struct {
 	// AsyncMaxDelay bounds per-message delay in virtual time units
 	// (default 5); only meaningful with Async.
 	AsyncMaxDelay int
+	// Progress, if non-nil, is invoked synchronously after every completed
+	// protocol step (Find: each quiescence-delimited phase; FindSequential:
+	// each boosting version plus the decision stage). The callback must not
+	// mutate the run; it exists for cancellation decisions, logging, and
+	// serving-side liveness. It adds no work when nil and never changes
+	// outputs.
+	Progress func(Progress)
+}
+
+// Progress describes one completed protocol step, reported through
+// Options.Progress. Step counts are engine-dependent: the distributed
+// engines report every phase (Versions×13 exploration phases plus the two
+// decision phases), the sequential reference reports one step per boosting
+// version plus one for the decision stage.
+type Progress struct {
+	// Version is the boosting version the step belongs to, or -1 for the
+	// decision-stage steps shared by all versions.
+	Version int
+	// Phase names the completed step (e.g. "v0/sample", "decide").
+	Phase string
+	// Step is the 1-based index of the completed step; Total is the number
+	// of steps the run will execute.
+	Step, Total int
+	// Item identifies the run's graph within a batch: the public
+	// SolveBatch sets it to the graph's index before forwarding the
+	// event. Zero outside batch serving.
+	Item int
+	// Rounds and Frames are the cumulative simulator costs so far (zero on
+	// the sequential path, which simulates no messages).
+	Rounds, Frames int
 }
 
 func (o Options) validated(n int) (Options, error) {

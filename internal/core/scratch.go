@@ -1,0 +1,31 @@
+package core
+
+import (
+	"sync"
+
+	"nearclique/internal/congest"
+)
+
+// seqCtxCheckEvery bounds how many sampled components the sequential
+// replay processes between context checks; exploring one component costs
+// O(2^|Si|) work, so a small stride keeps cancellation latency at a few
+// components without measurable polling overhead.
+const seqCtxCheckEvery = 64
+
+// seqScratch is the reusable per-run state of the sequential replay. The
+// dominant allocation of a run on an n-node graph is the bank of n
+// per-node RNG streams (two allocations each); everything else is sized by
+// the sample, not the graph. Batch serving solves many graphs back to
+// back, often concurrently, so the scratch lives in a sync.Pool: each
+// in-flight run owns one scratch exclusively, and parallel SolveBatch
+// workers draw distinct instances.
+type seqScratch struct {
+	bank *congest.RandBank
+}
+
+var seqScratchPool = sync.Pool{
+	New: func() interface{} { return &seqScratch{bank: &congest.RandBank{}} },
+}
+
+func getSeqScratch() *seqScratch  { return seqScratchPool.Get().(*seqScratch) }
+func putSeqScratch(s *seqScratch) { seqScratchPool.Put(s) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,6 +45,14 @@ var ErrNotFound = errors.New("core: no near-clique of the requested size found a
 // that run's result. Probes use FindSequential (the two implementations
 // are equivalent; the sequential one is cheaper).
 func SearchMinEpsilon(g *graph.Graph, so SearchOptions) (float64, *Result, error) {
+	return SearchContext(context.Background(), g, so)
+}
+
+// SearchContext is SearchMinEpsilon with cooperative cancellation: every
+// probe run observes ctx, and a canceled probe aborts the whole search
+// with an error wrapping context.Canceled or context.DeadlineExceeded —
+// cancellation is never conflated with a probe that merely found nothing.
+func SearchContext(ctx context.Context, g *graph.Graph, so SearchOptions) (float64, *Result, error) {
 	if so.Rho <= 0 || so.Rho > 1 {
 		return 0, nil, fmt.Errorf("core: Rho %v outside (0, 1]", so.Rho)
 	}
@@ -70,8 +79,8 @@ func SearchMinEpsilon(g *graph.Graph, so SearchOptions) (float64, *Result, error
 		need = 1
 	}
 
-	probe := func(eps float64) (*Result, bool) {
-		res, err := FindSequential(g, Options{
+	probe := func(eps float64) (*Result, bool, error) {
+		res, err := FindSequentialContext(ctx, g, Options{
 			Epsilon:        eps,
 			ExpectedSample: so.ExpectedSample,
 			Seed:           so.Seed,
@@ -79,24 +88,36 @@ func SearchMinEpsilon(g *graph.Graph, so SearchOptions) (float64, *Result, error
 			MinSize:        need,
 		})
 		if err != nil {
-			return nil, false
+			// Cancellation aborts the search; any other probe failure
+			// (e.g. an oversized component) counts as a non-detection.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, false, err
+			}
+			return nil, false, nil
 		}
 		best := res.Best()
 		return res, best != nil && len(best.Members) >= need &&
-			g.DensityOf(best.Members) >= 1-eps-1e-9
+			g.DensityOf(best.Members) >= 1-eps-1e-9, nil
 	}
 
 	// The detection event is monotone in ε in expectation (larger ε only
 	// relaxes every threshold); bisect for its boundary.
 	lo, hi := so.EpsMin, so.EpsMax
-	res, ok := probe(hi)
+	res, ok, err := probe(hi)
+	if err != nil {
+		return 0, nil, err
+	}
 	if !ok {
 		return 0, nil, ErrNotFound
 	}
 	bestEps, bestRes := hi, res
 	for step := 0; step < so.Steps; step++ {
 		mid := (lo + hi) / 2
-		if r, ok := probe(mid); ok {
+		r, ok, err := probe(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			hi, bestEps, bestRes = mid, mid, r
 		} else {
 			lo = mid

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"nearclique/internal/bitset"
 	"nearclique/internal/congest"
@@ -19,6 +19,22 @@ import (
 // Options.MaxRounds is ignored (there are no rounds); everything else
 // behaves as in Find.
 func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
+	return FindSequentialContext(context.Background(), g, opts)
+}
+
+// FindSequentialContext is FindSequential with cooperative cancellation:
+// the context is observed between boosting versions and between sampled
+// components, the units of work of the centralized replay. On cancellation
+// the error wraps context.Canceled or context.DeadlineExceeded and the
+// returned Result carries whatever sample sizes were measured before the
+// interruption, with all-⊥ labels.
+//
+// Per-run scratch state (the n per-node RNG streams) is drawn from a
+// package-level pool, so repeated solves — in particular concurrent batch
+// serving over shared immutable graphs — do not reallocate it. Pooling is
+// invisible in the outputs: re-keyed streams are bit-identical to fresh
+// ones.
+func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts, err := opts.validated(g.N())
 	if err != nil {
 		return nil, err
@@ -37,10 +53,10 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 	// Persistent per-node RNGs: version j draws the (2j+1)-th and
 	// (2j+2)-th floats of each node's stream, exactly as the distributed
 	// nodes do (the same counter-based streams Context.Rand hands out).
-	rngs := make([]*rand.Rand, n)
-	for v := 0; v < n; v++ {
-		rngs[v] = congest.NewNodeRand(opts.Seed, int64(v))
-	}
+	// The bank comes from the scratch pool; see seqScratch.
+	scratch := getSeqScratch()
+	defer putSeqScratch(scratch)
+	rngs := scratch.bank.Rands(opts.Seed, n)
 
 	var comps []*seqComp
 	p1 := opts.P / 2
@@ -50,6 +66,9 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 	}
 
 	for ver := 0; ver < opts.Versions; ver++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("core: sequential run interrupted at version %d: %w", ver, err)
+		}
 		inS := bitset.New(n)
 		for v := 0; v < n; v++ {
 			c1 := rngs[v].Float64() < p1
@@ -60,7 +79,12 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 		}
 		res.SampleSizes[ver] = inS.Count()
 
-		for _, members := range g.ComponentsOf(inS) {
+		for ci, members := range g.ComponentsOf(inS) {
+			if ci%seqCtxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, fmt.Errorf("core: sequential run interrupted at version %d: %w", ver, err)
+				}
+			}
 			if len(members) > res.MaxComponent {
 				res.MaxComponent = len(members)
 			}
@@ -109,6 +133,12 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 				sc.size = sc.tcounts[sc.bStar]
 			}
 			comps = append(comps, sc)
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Version: ver, Phase: fmt.Sprintf("v%d/explore", ver),
+				Step: ver + 1, Total: opts.Versions + 1,
+			})
 		}
 	}
 
@@ -165,6 +195,12 @@ func FindSequential(g *graph.Graph, opts Options) (*Result, error) {
 		})
 	}
 	res.Candidates = finalizeCandidates(g, out)
+	if opts.Progress != nil {
+		opts.Progress(Progress{
+			Version: -1, Phase: "decide",
+			Step: opts.Versions + 1, Total: opts.Versions + 1,
+		})
+	}
 	return res, nil
 }
 

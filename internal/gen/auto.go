@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"nearclique/internal/graph"
+)
+
+// Spec is the declarative input of Generate, the unified generator entry
+// point: one family name plus the union of the family parameters. Exactly
+// the fields the chosen family reads need to be set; the rest are ignored.
+type Spec struct {
+	// Family selects the generator: "er", "planted", "clique", "shingles",
+	// "twocliques", "geometric", "web", "complete", "empty", "path",
+	// "cycle", "star".
+	Family string
+	// N is the node count (all families).
+	N int
+	// P is the edge probability: the G(n,p) density for "er" and the
+	// background density for "planted"/"clique".
+	P float64
+	// Size is the planted set size ("planted", "clique").
+	Size int
+	// EpsIn is the planted near-clique parameter ("planted").
+	EpsIn float64
+	// Delta is the clique fraction ("shingles").
+	Delta float64
+	// Radius is the connection radius ("geometric").
+	Radius float64
+	// M is the attachment edges per node ("web").
+	M int
+	// WithA keeps A's internal edges ("twocliques").
+	WithA bool
+	// Seed drives the randomized families.
+	Seed int64
+}
+
+// Generated is the output of Generate: the graph plus whatever ground
+// truth the family defines. Fields not meaningful for the family are zero.
+type Generated struct {
+	Graph *graph.Graph
+	// Planted is the planted/embedded ground-truth set ("planted",
+	// "clique", "shingles" → C1∪C2, "twocliques" → the larger near-clique).
+	Planted []int
+	// EpsActual is the exact near-clique parameter of Planted as
+	// constructed ("planted", "clique").
+	EpsActual float64
+	// Positions are the node coordinates ("geometric").
+	Positions [][2]float64
+}
+
+// Generate builds the requested family, automatically selecting the
+// dense-bitset or CSR-sparse construction path by the node count and the
+// expected edge count (graph.DenseAuto): small or genuinely dense
+// instances get O(1) edge probes, large sparse ones get O(n+m) memory.
+// Families with a randomized sparse twin ("er", "planted", "clique",
+// "web") switch generator implementations — for a fixed seed the dense
+// and sparse twins draw different graphs from the same distribution, so
+// the representation choice is part of the deterministic output contract:
+// same Spec, same graph, always.
+func Generate(spec Spec) (Generated, error) {
+	if spec.N < 1 {
+		return Generated{}, fmt.Errorf("gen: family %q needs N ≥ 1, got %d", spec.Family, spec.N)
+	}
+	n := spec.N
+	switch spec.Family {
+	case "er":
+		if spec.P < 0 || spec.P > 1 {
+			return Generated{}, fmt.Errorf("gen: er edge probability %v outside [0, 1]", spec.P)
+		}
+		if denseFamily(n, spec.P) {
+			return Generated{Graph: ErdosRenyi(n, spec.P, spec.Seed)}, nil
+		}
+		return Generated{Graph: SparseErdosRenyi(n, spec.P, spec.Seed)}, nil
+	case "planted", "clique":
+		epsIn := spec.EpsIn
+		if spec.Family == "clique" {
+			epsIn = 0
+		}
+		if spec.Size < 1 || spec.Size > n {
+			return Generated{}, fmt.Errorf("gen: planted size %d outside [1, %d]", spec.Size, n)
+		}
+		if spec.P < 0 || spec.P > 1 {
+			return Generated{}, fmt.Errorf("gen: background probability %v outside [0, 1]", spec.P)
+		}
+		var p Planted
+		if denseFamily(n, spec.P) {
+			p = PlantedNearClique(n, spec.Size, epsIn, spec.P, spec.Seed)
+		} else {
+			p = SparsePlantedNearClique(n, spec.Size, epsIn, spec.P*float64(n-1), spec.Seed)
+		}
+		return Generated{Graph: p.Graph, Planted: p.D, EpsActual: p.EpsActual}, nil
+	case "shingles":
+		if n < 8 {
+			return Generated{}, fmt.Errorf("gen: shingles counterexample needs N ≥ 8, got %d", n)
+		}
+		if spec.Delta <= 0 || spec.Delta >= 1 {
+			return Generated{}, fmt.Errorf("gen: shingles delta %v outside (0, 1)", spec.Delta)
+		}
+		s := ShinglesCounterexample(n, spec.Delta)
+		planted := append(append([]int(nil), s.C1...), s.C2...)
+		return Generated{Graph: s.Graph, Planted: planted}, nil
+	case "twocliques":
+		if n < 8 {
+			return Generated{}, fmt.Errorf("gen: two-cliques-path needs N ≥ 8, got %d", n)
+		}
+		imp := TwoCliquesPath(n, spec.WithA)
+		planted := imp.A
+		if !spec.WithA {
+			planted = imp.B
+		}
+		return Generated{Graph: imp.Graph, Planted: append([]int(nil), planted...)}, nil
+	case "geometric":
+		// RandomGeometric checks all pairs and builds dense adjacency;
+		// cap it where that stops being tractable rather than OOM.
+		if n > graph.AutoSparseMinN {
+			return Generated{}, fmt.Errorf("gen: geometric family capped at N = %d (O(n²) pair checks and dense adjacency), got %d",
+				graph.AutoSparseMinN, n)
+		}
+		g, pos := RandomGeometric(n, spec.Radius, spec.Seed)
+		return Generated{Graph: g, Positions: pos}, nil
+	case "web":
+		if spec.M < 1 || n < spec.M+1 {
+			return Generated{}, fmt.Errorf("gen: web family needs 1 ≤ M < N, got M=%d N=%d", spec.M, n)
+		}
+		if n <= graph.AutoDenseMaxN {
+			return Generated{Graph: PreferentialAttachment(n, spec.M, spec.Seed)}, nil
+		}
+		return Generated{Graph: SparsePreferentialAttachment(n, spec.M, spec.Seed)}, nil
+	case "complete":
+		// A complete graph's edge list is Θ(n²) no matter the
+		// representation (and the bitsets are the *smaller* layout for
+		// it); cap where the quadratic cost stops being tractable.
+		if n > graph.AutoDenseMaxN {
+			return Generated{}, fmt.Errorf("gen: complete family capped at N = %d (Θ(n²) edges), got %d",
+				graph.AutoDenseMaxN, n)
+		}
+		return Generated{Graph: Complete(n)}, nil
+	case "empty":
+		return Generated{Graph: structural(n, func(add func(u, v int)) {})}, nil
+	case "path":
+		return Generated{Graph: structural(n, func(add func(u, v int)) {
+			for v := 1; v < n; v++ {
+				add(v-1, v)
+			}
+		})}, nil
+	case "cycle":
+		if n < 3 {
+			return Generated{}, fmt.Errorf("gen: cycle needs N ≥ 3, got %d", n)
+		}
+		return Generated{Graph: structural(n, func(add func(u, v int)) {
+			for v := 0; v < n; v++ {
+				add(v, (v+1)%n)
+			}
+		})}, nil
+	case "star":
+		return Generated{Graph: structural(n, func(add func(u, v int)) {
+			for v := 1; v < n; v++ {
+				add(0, v)
+			}
+		})}, nil
+	}
+	return Generated{}, fmt.Errorf("gen: unknown family %q", spec.Family)
+}
+
+// structural assembles a deterministic O(n)-edge family through the
+// auto-selecting builder, so million-node paths, cycles, and stars stay
+// O(n+m) instead of inheriting the dense generators' n²-bit adjacency.
+// The edge sets match Empty/Path/Cycle/Star exactly.
+func structural(n int, emit func(add func(u, v int))) *graph.Graph {
+	b := graph.NewAutoBuilder(n)
+	emit(b.AddEdge)
+	return b.Build()
+}
+
+// denseFamily decides the construction path for a G(n,p)-style family by
+// the expected edge count.
+func denseFamily(n int, p float64) bool {
+	expectedM := int(math.Round(p * float64(n) * float64(n-1) / 2))
+	return graph.DenseAuto(n, expectedM)
+}

@@ -1,0 +1,86 @@
+package graph
+
+// This file implements representation auto-selection: one construction
+// entry point that chooses between the dense-bitset and CSR-sparse
+// adjacency layouts by the node and edge counts, so callers no longer pick
+// a builder by hand (Builder vs SparseBuilder). Both underlying paths
+// remain available and unchanged; auto-selection only decides whether the
+// per-node adjacency bitsets — n² bits, O(1) HasEdge — are materialized at
+// build time or left to the lazy sparse path.
+//
+// Thresholds (documented in DESIGN.md §7):
+//
+//   - n ≤ AutoDenseMaxN: always dense. The bitsets cost at most
+//     AutoDenseMaxN²/8 = 2 MB and make every edge probe O(1).
+//   - n > AutoSparseMinN: always sparse. n² bits would exceed 512 MB,
+//     prohibitive regardless of density.
+//   - in between: dense only when the graph genuinely is, i.e. when at
+//     least 1/AutoDensePairFrac of all node pairs carry an edge — then the
+//     bitset memory is within a factor AutoDensePairFrac/32 of the
+//     neighbor lists it accompanies.
+const (
+	AutoDenseMaxN     = 4096
+	AutoSparseMinN    = 65536
+	AutoDensePairFrac = 64
+)
+
+// DenseAuto reports whether a graph on n nodes with m undirected edges
+// should carry dense adjacency bitsets under the auto-selection policy.
+func DenseAuto(n, m int) bool {
+	if n <= AutoDenseMaxN {
+		return true
+	}
+	if n > AutoSparseMinN {
+		return false
+	}
+	// n ≤ AutoSparseMinN = 2^16, so n*n fits comfortably in an int64/int.
+	return m*AutoDensePairFrac >= n*(n-1)/2
+}
+
+// AutoBuilder accumulates edges and selects the representation at Build
+// time from the observed node and edge counts. It accepts edges in any
+// order, ignores duplicates and self-loops, and is the construction path
+// behind the root package's unified Build entry point.
+type AutoBuilder struct {
+	sb *SparseBuilder
+}
+
+// NewAutoBuilder returns an AutoBuilder for a graph on n nodes.
+func NewAutoBuilder(n int) *AutoBuilder {
+	return &AutoBuilder{sb: NewSparseBuilder(n)}
+}
+
+// N returns the node count the builder was created with.
+func (b *AutoBuilder) N() int { return b.sb.N() }
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// Panics if an endpoint is out of range.
+func (b *AutoBuilder) AddEdge(u, v int) { b.sb.AddEdge(u, v) }
+
+// Build finalizes the graph, materializing dense adjacency bitsets exactly
+// when DenseAuto says the final (n, m) warrant them. The builder remains
+// usable afterwards. The adjacency structure is identical either way;
+// only the presence of the bitsets (and thus HasEdge's complexity and the
+// memory footprint) differs.
+func (b *AutoBuilder) Build() *Graph {
+	g := b.sb.Build()
+	if DenseAuto(g.N(), g.M()) {
+		g.ensureRows()
+	}
+	return g
+}
+
+// HasDenseRows reports whether the graph's per-node adjacency bitsets are
+// currently materialized — i.e. which representation a construction path
+// chose (or whether a dense-only operation forced them since).
+func (g *Graph) HasDenseRows() bool { return g.rows != nil }
+
+// FromEdgesAuto builds a graph on n nodes from an edge list, selecting the
+// representation automatically.
+func FromEdgesAuto(n int, edges [][2]int) *Graph {
+	b := NewAutoBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "testing"
+
+func TestDenseAutoThresholds(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want bool
+	}{
+		{1, 0, true},
+		{AutoDenseMaxN, 0, true},                                // small: always dense
+		{AutoDenseMaxN + 1, 0, false},                           // midrange, empty: sparse
+		{AutoSparseMinN + 1, 1 << 30, false},                    // huge: always sparse
+		{8192, 8192 * 8191 / 2 / AutoDensePairFrac, true},       // midrange at the density cutoff
+		{8192, 8192*8191/2/AutoDensePairFrac - 100, false},      // just below it
+		{AutoSparseMinN, AutoSparseMinN * AutoSparseMinN, true}, // midrange, saturated
+	}
+	for _, tc := range cases {
+		if got := DenseAuto(tc.n, tc.m); got != tc.want {
+			t.Errorf("DenseAuto(%d, %d) = %v, want %v", tc.n, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestAutoBuilderSelectsByFinalCounts(t *testing.T) {
+	// Small graph: dense rows materialized at build time.
+	b := NewAutoBuilder(64)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if !g.HasDenseRows() {
+		t.Fatal("64-node graph built without dense rows")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Fatal("dense-path adjacency wrong")
+	}
+
+	// Midrange sparse graph: no rows.
+	sb := NewAutoBuilder(AutoDenseMaxN + 10)
+	sb.AddEdge(0, AutoDenseMaxN+9)
+	sg := sb.Build()
+	if sg.HasDenseRows() {
+		t.Fatal("sparse midrange graph materialized dense rows")
+	}
+	if !sg.HasEdge(0, AutoDenseMaxN+9) {
+		t.Fatal("sparse-path adjacency wrong")
+	}
+
+	// The two paths agree on the adjacency structure.
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}}
+	auto := FromEdgesAuto(6, edges)
+	dense := FromEdges(6, edges)
+	if auto.N() != dense.N() || auto.M() != dense.M() {
+		t.Fatal("auto and dense construction disagree on counts")
+	}
+	for v := 0; v < 6; v++ {
+		a, d := auto.Neighbors(v), dense.Neighbors(v)
+		if len(a) != len(d) {
+			t.Fatalf("node %d: neighbor counts differ", v)
+		}
+		for i := range a {
+			if a[i] != d[i] {
+				t.Fatalf("node %d: neighbor lists differ", v)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package graphio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -27,6 +28,11 @@ import (
 // an allocation storm. Raise it (before calling Read) for legitimately
 // larger graphs.
 var MaxNodes = 1 << 24
+
+// ErrTooLarge is wrapped by every MaxNodes cap violation, so callers can
+// distinguish "input exceeds the configured size cap" (raise MaxNodes and
+// retry) from a malformed input via errors.Is.
+var ErrTooLarge = errors.New("graphio: input exceeds the node-count cap")
 
 // Read parses an edge list. A leading "n <count>" line fixes the node
 // count; otherwise it is one more than the largest endpoint mentioned.
@@ -55,7 +61,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 				return nil, fmt.Errorf("graphio: line %d: bad node count %q", line, fields[1])
 			}
 			if v > MaxNodes {
-				return nil, fmt.Errorf("graphio: line %d: node count %d exceeds limit %d", line, v, MaxNodes)
+				return nil, fmt.Errorf("%w: line %d: node count %d exceeds limit %d", ErrTooLarge, line, v, MaxNodes)
 			}
 			n = v
 			continue
@@ -75,7 +81,7 @@ func Read(r io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("graphio: line %d: negative node index", line)
 		}
 		if u >= MaxNodes || v >= MaxNodes {
-			return nil, fmt.Errorf("graphio: line %d: node index exceeds limit %d", line, MaxNodes)
+			return nil, fmt.Errorf("%w: line %d: node index exceeds limit %d", ErrTooLarge, line, MaxNodes)
 		}
 		if u > maxIdx {
 			maxIdx = u

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -52,6 +53,25 @@ func TestReadErrors(t *testing.T) {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("input %q accepted", in)
 		}
+	}
+}
+
+// TestCapErrorsWrapSentinel pins the errors.Is contract: every MaxNodes
+// cap violation wraps ErrTooLarge, while malformed inputs do not.
+func TestCapErrorsWrapSentinel(t *testing.T) {
+	oversized := []string{
+		"n 999999999\n", // declared count beyond the cap
+		"0 888888888\n", // implied count beyond the cap
+		"777777777 1\n", // first endpoint beyond the cap
+	}
+	for _, in := range oversized {
+		_, err := Read(strings.NewReader(in))
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("input %q: want wrapped ErrTooLarge, got %v", in, err)
+		}
+	}
+	if _, err := Read(strings.NewReader("a b\n")); errors.Is(err, ErrTooLarge) {
+		t.Error("malformed input misclassified as ErrTooLarge")
 	}
 }
 

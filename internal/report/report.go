@@ -1,0 +1,93 @@
+// Package report defines the machine-readable result schema shared by the
+// cmd/ tools: cmd/nearclique -json emits a Run per invocation and
+// cmd/bench emits a list of Measurements. Both embed the same Cost block,
+// so downstream tooling parses execution costs identically regardless of
+// which tool produced them.
+package report
+
+import (
+	"time"
+
+	"nearclique/internal/core"
+	"nearclique/internal/graph"
+)
+
+// Cost is the execution-cost block shared by every emitted record.
+// Simulator counters are zero for sequential runs (nothing is simulated).
+type Cost struct {
+	Rounds       int   `json:"rounds"`
+	Frames       int   `json:"frames"`
+	PayloadBytes int   `json:"payload_bytes"`
+	WallNS       int64 `json:"wall_ns"`
+}
+
+// Candidate is one reported near-clique.
+type Candidate struct {
+	Label   int64   `json:"label"`
+	Version int     `json:"version"`
+	Size    int     `json:"size"`
+	Density float64 `json:"density"`
+	Members []int   `json:"members,omitempty"`
+}
+
+// Run is the cmd/nearclique -json record: one solve over one graph.
+// Error carries the failure while the rest of the record still reports
+// whatever partial costs accumulated (e.g. a canceled run's rounds).
+type Run struct {
+	Engine string `json:"engine"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Cost
+	MaxFrameBits int         `json:"max_frame_bits,omitempty"`
+	SampleSizes  []int       `json:"sample_sizes,omitempty"`
+	MaxComponent int         `json:"max_component,omitempty"`
+	Candidates   []Candidate `json:"candidates"`
+	Error        string      `json:"error,omitempty"`
+}
+
+// Measurement is the cmd/bench record: one timed workload on one engine,
+// with the derived rates cmd/bench historically reported.
+type Measurement struct {
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Cost
+	RoundsPerSec  float64 `json:"rounds_per_sec"`
+	MBytesPerSec  float64 `json:"payload_mb_per_sec"`
+	Allocs        uint64  `json:"allocs"`
+	AllocsPerRnd  float64 `json:"allocs_per_round"`
+	RecoveredPct  float64 `json:"recovered_pct,omitempty"`
+	SpeedupLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+}
+
+// FromResult assembles a Run from a solve outcome. res may carry partial
+// metrics when err is non-nil (abort and cancellation paths); a nil res
+// yields a record with only the graph shape, the wall time, and the error.
+func FromResult(engine string, g *graph.Graph, res *core.Result, wall time.Duration, err error) Run {
+	r := Run{Engine: engine, N: g.N(), M: g.M()}
+	r.WallNS = wall.Nanoseconds()
+	if err != nil {
+		r.Error = err.Error()
+	}
+	if res == nil {
+		return r
+	}
+	r.Rounds = res.Metrics.Rounds
+	r.Frames = res.Metrics.Frames
+	r.PayloadBytes = res.Metrics.Bits / 8
+	r.MaxFrameBits = res.Metrics.MaxFrameBits
+	r.SampleSizes = res.SampleSizes
+	r.MaxComponent = res.MaxComponent
+	r.Candidates = make([]Candidate, 0, len(res.Candidates))
+	for _, c := range res.Candidates {
+		r.Candidates = append(r.Candidates, Candidate{
+			Label:   c.Label,
+			Version: c.Version,
+			Size:    len(c.Members),
+			Density: c.Density,
+			Members: c.Members,
+		})
+	}
+	return r
+}

@@ -1,31 +1,66 @@
-// Package nearclique is a Go implementation of Brakerski & Patt-Shamir,
-// "Distributed Discovery of Large Near-Cliques" (PODC 2009): a randomized
-// CONGEST-model algorithm that, given a graph containing an ε³-near clique
-// of size δn, finds — in O(1) rounds for constant parameters, with
-// O(log n)-bit messages and constant success probability — a collection of
-// disjoint near-cliques, at least one of which is an O(ε/δ)-near clique of
-// size (1−O(ε))·δn.
+// Package nearclique finds large near-cliques in graphs, implementing
+// Brakerski & Patt-Shamir, "Distributed Discovery of Large Near-Cliques"
+// (PODC 2009): a randomized CONGEST-model algorithm that, given a graph
+// containing an ε³-near clique of size δn, finds — in O(1) rounds for
+// constant parameters, with O(log n)-bit messages and constant success
+// probability — a collection of disjoint near-cliques, at least one of
+// which is an O(ε/δ)-near clique of size (1−O(ε))·δn.
 //
 // A set D is an ε-near clique if all but an ε fraction of the ordered
 // pairs of D carry an edge (Definition 1 in the paper).
 //
-// The package exposes:
+// # The Solver
 //
-//   - Find: the full distributed protocol on a faithful CONGEST simulator
-//     (one O(log n)-bit message per edge per round, measured metrics).
-//   - FindSequential: a centralized reference implementation that replays
-//     the identical coins and tie-breaks bit-for-bit, for large inputs.
-//   - Graph construction, generators for the paper's graph families, and
-//     edge-list I/O.
+// The package is organized around a reusable, goroutine-safe Solver
+// constructed with functional options and driven with context-aware
+// methods:
+//
+//	s, err := nearclique.New(
+//	        nearclique.WithEngine(nearclique.EngineSharded),
+//	        nearclique.WithEpsilon(0.25),
+//	        nearclique.WithExpectedSample(6),
+//	        nearclique.WithSeed(1),
+//	        nearclique.WithVersions(3),
+//	)
+//	if err != nil { ... }
+//	res, err := s.Solve(ctx, g)         // one graph
+//	best := res.Best()                  // largest reported near-clique, or nil
+//
+//	batch, err := s.SolveBatch(ctx, gs) // concurrent serving over many graphs
+//	eps, res, err := s.Search(ctx, g, 0.3) // smallest ε with a ≥0.3n near-clique
+//
+// Engines are pluggable (WithEngine): the sequential reference replay
+// (fastest; the EngineAuto default), the sharded flat-buffer CONGEST
+// simulator (full round/frame/bit metrics at million-node scale), the
+// legacy simulator (differential-testing reference), and the
+// asynchronous executor with Awerbuch's α-synchronizer. All engines
+// produce bit-identical outputs on the same seed — the determinism suite
+// pins this — so the choice is purely cost vs. metrics.
+//
+// Every method takes a context.Context: cancellation and deadlines are
+// observed at simulator round boundaries, surface as wrapped
+// context.Canceled / context.DeadlineExceeded, and leave valid partial
+// Metrics in the returned Result. WithProgress installs a per-step
+// callback for serving-side liveness.
+//
+// Graph construction is unified behind Build, NewGraphBuilder, and
+// Generate, which auto-select the dense-bitset or CSR-sparse internal
+// representation from the node and edge counts (DESIGN.md §7); ReadGraph
+// and WriteGraph handle the plain-text edge-list interchange format.
+//
+// # Deprecated surface
+//
+// The original free functions (Find, FindSequential, SearchMinEpsilon,
+// the representation-specific builders and the paired Gen*/GenSparse*
+// generators) remain as thin wrappers with byte-identical outputs; new
+// code should use the Solver and the unified constructors. See DESIGN.md
+// §7 for the deprecation policy.
 //
 // Quickstart:
 //
 //	inst := nearclique.GenPlantedNearClique(500, 150, 0.01, 0.05, 1)
-//	res, err := nearclique.Find(inst.Graph, nearclique.Options{
-//	        Epsilon:        0.25,
-//	        ExpectedSample: 6,
-//	        Seed:           1,
-//	})
+//	s, _ := nearclique.New(nearclique.WithEpsilon(0.25), nearclique.WithSeed(1))
+//	res, err := s.Solve(context.Background(), inst.Graph)
 //	if err != nil { ... }
 //	best := res.Best() // largest reported near-clique, or nil
 //
@@ -34,6 +69,7 @@
 package nearclique
 
 import (
+	"context"
 	"io"
 
 	"nearclique/internal/baseline"
@@ -48,23 +84,36 @@ import (
 // Graph is an immutable simple undirected graph on nodes 0..N()-1.
 type Graph = graph.Graph
 
-// Builder accumulates edges and produces an immutable Graph.
+// Builder accumulates edges and produces an immutable Graph with dense
+// adjacency bitsets.
+//
+// Deprecated: use GraphBuilder (NewGraphBuilder), which selects the
+// representation automatically.
 type Builder = graph.Builder
 
 // NewBuilder returns a Builder for a graph on n nodes.
+//
+// Deprecated: use NewGraphBuilder.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
-// FromEdges builds a graph on n nodes from an edge list.
+// FromEdges builds a graph on n nodes from an edge list via the dense
+// path.
+//
+// Deprecated: use Build, which selects the representation automatically.
 func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
 
 // ReadGraph parses the plain-text edge-list format (see cmd/gengraph).
+// Inputs beyond the graphio node-count cap fail with an error wrapping
+// ErrInputTooLarge.
 func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
 
 // WriteGraph emits a graph in the format ReadGraph accepts.
 func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
 
 // Options configures a run of Algorithm DistNearClique; see the field
-// documentation in the core package (re-exported verbatim).
+// documentation in the core package (re-exported verbatim). It is the
+// configuration record of the deprecated free functions; new code
+// configures a Solver with functional options instead.
 type Options = core.Options
 
 // Result is the output of a run: per-node labels, the committed
@@ -81,21 +130,37 @@ type Metrics = congest.Metrics
 // NoLabel is the ⊥ output value: the node is in no reported near-clique.
 const NoLabel = core.NoLabel
 
-// ErrComponentTooLarge is returned when a sampled component exceeds
-// Options.MaxComponentSize; lower the sampling probability.
+// ErrComponentTooLarge is returned (wrapped, errors.Is-matchable) when a
+// sampled component exceeds the component cap; lower the sampling
+// probability.
 var ErrComponentTooLarge = core.ErrComponentTooLarge
 
-// ErrRoundLimit is returned when Options.MaxRounds is exceeded (the
-// paper's deterministic running-time wrapper).
+// ErrRoundLimit is returned (wrapped) when the configured round bound is
+// exceeded (the paper's deterministic running-time wrapper).
 var ErrRoundLimit = core.ErrRoundLimit
 
+// ErrInputTooLarge is wrapped by ReadGraph when an input exceeds the
+// graphio node-count cap (an allocation-storm guard, not a parse error).
+var ErrInputTooLarge = graphio.ErrTooLarge
+
 // Find runs the distributed algorithm on the CONGEST simulator.
-func Find(g *Graph, opts Options) (*Result, error) { return core.Find(g, opts) }
+//
+// Deprecated: use New(WithEngine(EngineSharded), …).Solve(ctx, g); this
+// wrapper forwards there with a background context and produces
+// byte-identical results.
+func Find(g *Graph, opts Options) (*Result, error) {
+	return legacySolver(opts, EngineSharded).Solve(context.Background(), g)
+}
 
 // FindSequential runs the centralized reference implementation: identical
 // output to Find on the same seed, no message simulation (faster and
 // memory-lighter for large graphs).
-func FindSequential(g *Graph, opts Options) (*Result, error) { return core.FindSequential(g, opts) }
+//
+// Deprecated: use New(…).Solve(ctx, g) — EngineAuto is the sequential
+// reference; this wrapper forwards there with a background context.
+func FindSequential(g *Graph, opts Options) (*Result, error) {
+	return legacySolver(opts, EngineSequential).Solve(context.Background(), g)
+}
 
 // Density returns the Definition-1 density of a node set: the fraction of
 // ordered pairs inside the set that carry an edge.
@@ -112,16 +177,22 @@ func IsNearClique(g *Graph, nodes []int, eps float64) bool {
 func GreedyPeel(g *Graph) ([]int, float64) { return g.GreedyPeel() }
 
 // SearchOptions configures SearchMinEpsilon.
+//
+// Deprecated: use Solver.Search with WithSearchSteps / WithSearchBounds.
 type SearchOptions = core.SearchOptions
 
-// ErrNotFound is returned by SearchMinEpsilon when no probed ε yields a
-// near-clique of the requested size.
+// ErrNotFound is returned by the ε-search when no probed ε yields a
+// near-clique of the requested size. Cancellation never surfaces as
+// ErrNotFound — it arrives as a wrapped context error.
 var ErrNotFound = core.ErrNotFound
 
 // SearchMinEpsilon estimates the smallest ε at which the graph contains a
 // reportable ε-near clique of ≥ ρn nodes, by bisection over boosted runs —
 // the practical analogue of Fischer & Newman's minimum-distance estimation
 // (the paper's related work [9]).
+//
+// Deprecated: use New(…).Search(ctx, g, rho); this wrapper forwards there
+// with a background context.
 func SearchMinEpsilon(g *Graph, so SearchOptions) (float64, *Result, error) {
 	return core.SearchMinEpsilon(g, so)
 }
@@ -172,20 +243,32 @@ func MaximalCliqueViaComplementMIS(g *Graph, opts MISOptions) ([]int, Metrics, e
 }
 
 // --- Generators ---------------------------------------------------------
+//
+// The paired dense/sparse generator free functions below are deprecated
+// in favor of the unified Generate entry point (build.go), which
+// auto-selects the construction path. They remain because their outputs
+// are pinned by transcripts and experiments: for a fixed seed the dense
+// and sparse twins draw different graphs from the same distribution.
 
 // PlantedGraph describes a generated graph with a planted dense set.
 type PlantedGraph = gen.Planted
 
-// GenErdosRenyi returns G(n, p).
+// GenErdosRenyi returns G(n, p) via the dense construction path.
+//
+// Deprecated: use Generate(GenSpec{Family: "er", …}).
 func GenErdosRenyi(n int, p float64, seed int64) *Graph { return gen.ErdosRenyi(n, p, seed) }
 
 // GenPlantedNearClique plants an epsIn-near clique of the given size over
 // a G(n, pOut) background.
+//
+// Deprecated: use Generate(GenSpec{Family: "planted", …}).
 func GenPlantedNearClique(n, size int, epsIn, pOut float64, seed int64) PlantedGraph {
 	return gen.PlantedNearClique(n, size, epsIn, pOut, seed)
 }
 
 // GenPlantedClique plants a strict clique.
+//
+// Deprecated: use Generate(GenSpec{Family: "clique", …}).
 func GenPlantedClique(n, size int, pOut float64, seed int64) PlantedGraph {
 	return gen.PlantedClique(n, size, pOut, seed)
 }
@@ -195,6 +278,8 @@ type ShinglesFamily = gen.Shingles
 
 // GenShinglesCounterexample builds the Figure-1 family member for clique
 // fraction delta.
+//
+// Deprecated: use Generate(GenSpec{Family: "shingles", …}).
 func GenShinglesCounterexample(n int, delta float64) ShinglesFamily {
 	return gen.ShinglesCounterexample(n, delta)
 }
@@ -203,17 +288,23 @@ func GenShinglesCounterexample(n int, delta float64) ShinglesFamily {
 type ImpossibilityGraph = gen.Impossibility
 
 // GenTwoCliquesPath builds the Section-6 construction.
+//
+// Deprecated: use Generate(GenSpec{Family: "twocliques", …}).
 func GenTwoCliquesPath(n int, withAEdges bool) ImpossibilityGraph {
 	return gen.TwoCliquesPath(n, withAEdges)
 }
 
 // GenRandomGeometric returns a random geometric graph (unit square,
 // connect within radius) and the node positions.
+//
+// Deprecated: use Generate(GenSpec{Family: "geometric", …}).
 func GenRandomGeometric(n int, radius float64, seed int64) (*Graph, [][2]float64) {
 	return gen.RandomGeometric(n, radius, seed)
 }
 
 // GenPreferentialAttachment returns a Barabási–Albert style web-like graph.
+//
+// Deprecated: use Generate(GenSpec{Family: "web", …}).
 func GenPreferentialAttachment(n, m int, seed int64) *Graph {
 	return gen.PreferentialAttachment(n, m, seed)
 }
@@ -229,25 +320,36 @@ func EmbedCommunity(g *Graph, size int, epsIn float64, seed int64) (*Graph, []in
 // NewSparseBuilder returns an edge-list graph builder that skips the
 // per-node dense bitsets — O(n+m) memory, the construction path for
 // million-node graphs.
+//
+// Deprecated: use NewGraphBuilder, which selects the representation
+// automatically.
 func NewSparseBuilder(n int) *graph.SparseBuilder { return graph.NewSparseBuilder(n) }
 
 // FromEdgeList builds a graph on n nodes from an edge list via the sparse
 // path.
+//
+// Deprecated: use Build, which selects the representation automatically.
 func FromEdgeList(n int, edges [][2]int) *Graph { return graph.FromEdgeList(n, edges) }
 
 // GenSparseErdosRenyi returns G(n, p) by O(m) skip-sampling.
+//
+// Deprecated: use Generate(GenSpec{Family: "er", …}).
 func GenSparseErdosRenyi(n int, p float64, seed int64) *Graph {
 	return gen.SparseErdosRenyi(n, p, seed)
 }
 
 // GenSparsePlantedNearClique plants an epsIn-near clique of the given size
 // over a sparse background of expected average degree avgDeg, in O(n+m).
+//
+// Deprecated: use Generate(GenSpec{Family: "planted", …}).
 func GenSparsePlantedNearClique(n, size int, epsIn, avgDeg float64, seed int64) PlantedGraph {
 	return gen.SparsePlantedNearClique(n, size, epsIn, avgDeg, seed)
 }
 
 // GenSparsePreferentialAttachment returns a Barabási–Albert style graph
 // built through the sparse path.
+//
+// Deprecated: use Generate(GenSpec{Family: "web", …}).
 func GenSparsePreferentialAttachment(n, m int, seed int64) *Graph {
 	return gen.SparsePreferentialAttachment(n, m, seed)
 }

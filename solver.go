@@ -1,0 +1,444 @@
+package nearclique
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/core"
+)
+
+// Engine selects how a Solver executes DistNearClique. Every engine
+// produces bit-identical protocol outputs on the same seed (asserted by
+// the determinism suites); they differ only in what they cost and which
+// metrics they measure.
+type Engine uint8
+
+const (
+	// EngineAuto picks the cheapest faithful execution: the sequential
+	// reference replay. Choose a simulator engine explicitly when you need
+	// round/frame/bit metrics.
+	EngineAuto Engine = iota
+	// EngineSequential is the centralized reference replay: identical
+	// outputs, no message simulation, the fastest and lightest option.
+	EngineSequential
+	// EngineSharded is the sharded flat-buffer CONGEST simulator
+	// (DESIGN.md §5): full metrics, scales to million-node graphs.
+	EngineSharded
+	// EngineLegacy is the original per-round-scan CONGEST simulator, kept
+	// as the differential-testing reference.
+	EngineLegacy
+	// EngineAsync is the event-driven asynchronous executor with
+	// Awerbuch's α-synchronizer; the synchronizer overhead appears in the
+	// Async* metrics.
+	EngineAsync
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineSequential:
+		return "seq"
+	case EngineSharded:
+		return "sharded"
+	case EngineLegacy:
+		return "legacy"
+	case EngineAsync:
+		return "async"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine maps the flag spellings used by the cmd/ tools ("auto",
+// "seq", "sharded", "legacy", "async") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "seq", "sequential":
+		return EngineSequential, nil
+	case "sharded":
+		return EngineSharded, nil
+	case "legacy":
+		return EngineLegacy, nil
+	case "async":
+		return EngineAsync, nil
+	}
+	return EngineAuto, fmt.Errorf("nearclique: unknown engine %q (want auto|seq|sharded|legacy|async)", s)
+}
+
+// config is the resolved Solver configuration. The embedded core options
+// carry the protocol knobs; the rest is serving-side plumbing.
+type config struct {
+	opts        core.Options
+	engine      Engine
+	versionsSet bool
+	batch       int
+	searchSteps int
+	searchMin   float64
+	searchMax   float64
+}
+
+// Option configures a Solver at construction time.
+type Option func(*config) error
+
+// WithEngine selects the execution engine (default EngineAuto).
+func WithEngine(e Engine) Option {
+	return func(c *config) error {
+		if e > EngineAsync {
+			return fmt.Errorf("nearclique: invalid engine %d", uint8(e))
+		}
+		c.engine = e
+		return nil
+	}
+}
+
+// WithEpsilon sets the near-clique parameter ε ∈ (0, 0.5); default 0.25.
+func WithEpsilon(eps float64) Option {
+	return func(c *config) error {
+		if eps <= 0 || eps >= 0.5 {
+			return fmt.Errorf("nearclique: Epsilon %v outside (0, 0.5)", eps)
+		}
+		c.opts.Epsilon = eps
+		return nil
+	}
+}
+
+// WithExpectedSample sets the expected sample size s = p·n (default 6)
+// and clears any sampling probability set earlier.
+func WithExpectedSample(s float64) Option {
+	return func(c *config) error {
+		if s <= 0 {
+			return fmt.Errorf("nearclique: ExpectedSample %v not positive", s)
+		}
+		c.opts.ExpectedSample, c.opts.P = s, 0
+		return nil
+	}
+}
+
+// WithSamplingProbability pins the sampling probability p ∈ (0, 1]
+// directly, overriding the expected-sample-size parameterization.
+func WithSamplingProbability(p float64) Option {
+	return func(c *config) error {
+		if p <= 0 || p > 1 {
+			return fmt.Errorf("nearclique: sampling probability %v outside (0, 1]", p)
+		}
+		c.opts.P, c.opts.ExpectedSample = p, 0
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving every coin flip (default 1). Identical
+// seeds give identical runs on every engine.
+func WithSeed(seed int64) Option {
+	return func(c *config) error { c.opts.Seed = seed; return nil }
+}
+
+// WithVersions sets the boosting parameter λ of Section 4.1: that many
+// independent sampling+exploration stages feed one decision stage.
+// Default 1 for Solve; Search defaults to 4 unless set explicitly.
+func WithVersions(v int) Option {
+	return func(c *config) error {
+		if v < 1 {
+			return fmt.Errorf("nearclique: Versions %d below 1", v)
+		}
+		c.opts.Versions = v
+		c.versionsSet = true
+		return nil
+	}
+}
+
+// WithMinSize disqualifies committed candidates smaller than min.
+func WithMinSize(min int) Option {
+	return func(c *config) error {
+		if min < 0 {
+			return fmt.Errorf("nearclique: MinSize %d negative", min)
+		}
+		c.opts.MinSize = min
+		return nil
+	}
+}
+
+// WithMaxRounds bounds total communication rounds (Section 4.1's
+// deterministic running-time wrapper); exceeding it returns ErrRoundLimit
+// with partial metrics. 0 (the default) disables the bound.
+func WithMaxRounds(r int) Option {
+	return func(c *config) error {
+		if r < 0 {
+			return fmt.Errorf("nearclique: MaxRounds %d negative", r)
+		}
+		c.opts.MaxRounds = r
+		return nil
+	}
+}
+
+// WithMaxComponentSize caps sampled-component sizes (the exploration stage
+// enumerates 2^|Si| subsets); exceeding it returns ErrComponentTooLarge.
+func WithMaxComponentSize(k int) Option {
+	return func(c *config) error {
+		if k < 1 || k > core.HardMaxComponentSize {
+			return fmt.Errorf("nearclique: MaxComponentSize %d outside [1, %d]", k, core.HardMaxComponentSize)
+		}
+		c.opts.MaxComponentSize = k
+		return nil
+	}
+}
+
+// WithParallelism bounds simulator worker goroutines per run; 0 (the
+// default) means GOMAXPROCS. Outputs are identical at any setting.
+func WithParallelism(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return fmt.Errorf("nearclique: Parallelism %d negative", w)
+		}
+		c.opts.Parallelism = w
+		return nil
+	}
+}
+
+// WithProgress installs a synchronous callback invoked after every
+// completed protocol step; see Progress for the engine-dependent step
+// granularity. The callback must not block for long — it runs on the
+// solving goroutine — and must not mutate the run. Under SolveBatch the
+// one callback is shared by every in-flight run, so it MUST be safe for
+// concurrent use; Progress.Item carries the batch index to tell the
+// runs apart.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) error { c.opts.Progress = fn; return nil }
+}
+
+// WithAsyncMaxDelay bounds per-message delay in virtual time units for
+// EngineAsync (default 5).
+func WithAsyncMaxDelay(d int) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("nearclique: AsyncMaxDelay %d negative", d)
+		}
+		c.opts.AsyncMaxDelay = d
+		return nil
+	}
+}
+
+// WithBatchWorkers bounds the concurrent runs a SolveBatch call uses;
+// 0 (the default) means GOMAXPROCS.
+func WithBatchWorkers(w int) Option {
+	return func(c *config) error {
+		if w < 0 {
+			return fmt.Errorf("nearclique: BatchWorkers %d negative", w)
+		}
+		c.batch = w
+		return nil
+	}
+}
+
+// WithSearchSteps sets the number of bisection steps Search performs
+// (default 8).
+func WithSearchSteps(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("nearclique: SearchSteps %d below 1", n)
+		}
+		c.searchSteps = n
+		return nil
+	}
+}
+
+// WithSearchBounds sets the ε interval Search bisects over
+// (default [0.02, 0.45]).
+func WithSearchBounds(min, max float64) Option {
+	return func(c *config) error {
+		if min <= 0 || max >= 0.5 || min >= max {
+			return fmt.Errorf("nearclique: search bounds [%v, %v] invalid (need 0 < min < max < 0.5)", min, max)
+		}
+		c.searchMin, c.searchMax = min, max
+		return nil
+	}
+}
+
+// Progress re-exports the per-step progress record delivered to
+// WithProgress callbacks.
+type Progress = core.Progress
+
+// Solver is a reusable, immutable, goroutine-safe configuration of
+// DistNearClique. Construct one with New, then call Solve, SolveBatch, or
+// Search any number of times, concurrently if desired: a Solver holds no
+// per-run state (per-run scratch is drawn from internal pools), and runs
+// on the same seed are bit-for-bit reproducible on every engine.
+type Solver struct {
+	cfg config
+}
+
+// New builds a Solver from functional options, validating each eagerly so
+// misconfiguration fails at construction, not mid-serve. Defaults:
+// EngineAuto, ε = 0.25, expected sample 6, seed 1, one boosting version.
+func New(options ...Option) (*Solver, error) {
+	cfg := config{
+		opts: core.Options{Epsilon: 0.25, ExpectedSample: 6, Seed: 1},
+	}
+	for _, opt := range options {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Solver{cfg: cfg}, nil
+}
+
+// Engine returns the configured execution engine.
+func (s *Solver) Engine() Engine { return s.cfg.engine }
+
+// Solve runs DistNearClique on g. The context cancels cooperatively: the
+// simulator engines observe it at every round boundary and the sequential
+// engine between versions and components, so even million-node runs stop
+// within one round's worth of work. On cancellation the error wraps
+// context.Canceled or context.DeadlineExceeded and the returned Result
+// carries the metrics accumulated so far with all-⊥ labels, mirroring the
+// paper's abort wrapper (likewise for ErrRoundLimit and
+// ErrComponentTooLarge).
+func (s *Solver) Solve(ctx context.Context, g *Graph) (*Result, error) {
+	return s.solve(ctx, g, s.cfg.opts)
+}
+
+// solve dispatches one run with the given resolved options.
+func (s *Solver) solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	switch s.cfg.engine {
+	case EngineAuto, EngineSequential:
+		opts.Async = false
+		return core.FindSequentialContext(ctx, g, opts)
+	case EngineSharded:
+		opts.Engine, opts.Async = congest.EngineSharded, false
+	case EngineLegacy:
+		opts.Engine, opts.Async = congest.EngineLegacy, false
+	case EngineAsync:
+		opts.Async = true
+	}
+	return core.FindContext(ctx, g, opts)
+}
+
+// SolveBatch runs the solver over a batch of immutable graphs on a
+// bounded worker pool (WithBatchWorkers), the serving path for
+// heavy-traffic workloads. Results are index-aligned with graphs; each
+// entry is exactly what Solve(ctx, graphs[i]) returns — same seed, same
+// coins, bit-identical — so batching never changes answers, only
+// concurrency. Workers reuse pooled per-run scratch, so steady-state
+// batches allocate per graph, not per node.
+//
+// Per-item failures do not stop the batch: results[i] may carry a partial
+// result while the joined error (errors.Join, one wrapped error per
+// failed item) reports every failure. Cancelling ctx stops in-flight runs
+// at their next round boundary and fails not-yet-started items with the
+// context error.
+func (s *Solver) SolveBatch(ctx context.Context, graphs []*Graph) ([]*Result, error) {
+	results := make([]*Result, len(graphs))
+	errs := make([]error, len(graphs))
+	workers := s.cfg.batch
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	if workers == 0 {
+		return results, nil
+	}
+
+	// When several simulator-backed runs fly concurrently, split the
+	// machine between them instead of oversubscribing: per-run worker
+	// counts never change outputs (pinned by the determinism suite), only
+	// speed.
+	opts := s.cfg.opts
+	if workers > 1 && opts.Parallelism == 0 &&
+		(s.cfg.engine == EngineSharded || s.cfg.engine == EngineLegacy) {
+		if per := runtime.GOMAXPROCS(0) / workers; per > 1 {
+			opts.Parallelism = per
+		} else {
+			opts.Parallelism = 1
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(graphs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("nearclique: batch item %d: %w", i, err)
+					continue
+				}
+				itemOpts := opts
+				if fn := opts.Progress; fn != nil {
+					// Stamp the batch index so a shared callback can tell
+					// concurrent runs apart.
+					idx := i
+					itemOpts.Progress = func(p Progress) {
+						p.Item = idx
+						fn(p)
+					}
+				}
+				res, err := s.solve(ctx, graphs[i], itemOpts)
+				results[i] = res
+				if err != nil {
+					errs[i] = fmt.Errorf("nearclique: batch item %d: %w", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Search estimates the smallest ε at which g contains a reportable ε-near
+// clique of ≥ rho·n nodes, by bisection over boosted sequential runs (the
+// practical analogue of Fischer & Newman's minimum-distance estimation).
+// It replaces the deprecated SearchMinEpsilon; tune it with
+// WithSearchSteps and WithSearchBounds. Probes observe ctx, and
+// cancellation surfaces as a wrapped context error — never as ErrNotFound.
+func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *Result, error) {
+	versions := 0 // core's search default (4): probes must be reliable
+	if s.cfg.versionsSet {
+		versions = s.cfg.opts.Versions
+	}
+	// SearchOptions parameterizes sampling by expected size only; a
+	// solver configured with WithSamplingProbability probes at the
+	// equivalent s = p·n so Search and Solve sample identically.
+	sample := s.cfg.opts.ExpectedSample
+	if s.cfg.opts.P > 0 {
+		sample = s.cfg.opts.P * float64(g.N())
+	}
+	return core.SearchContext(ctx, g, core.SearchOptions{
+		Rho:            rho,
+		ExpectedSample: sample,
+		Versions:       versions,
+		Steps:          s.cfg.searchSteps,
+		EpsMin:         s.cfg.searchMin,
+		EpsMax:         s.cfg.searchMax,
+		Seed:           s.cfg.opts.Seed,
+	})
+}
+
+// legacySolver adapts a legacy Options value to a Solver, preserving the
+// exact core semantics (including error strings from deferred
+// validation), so the deprecated free functions are thin wrappers over
+// the Solver path with byte-identical transcripts. FindSequential always
+// ran the centralized replay, ignoring Options.Async and Options.Engine;
+// the engine mapping only applies to the simulator-backed Find.
+func legacySolver(opts Options, engine Engine) *Solver {
+	if engine != EngineSequential {
+		if opts.Async {
+			engine = EngineAsync
+		} else if opts.Engine == congest.EngineLegacy {
+			engine = EngineLegacy
+		}
+	}
+	return &Solver{cfg: config{opts: opts, engine: engine}}
+}
