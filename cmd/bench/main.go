@@ -6,11 +6,20 @@
 // shared schema of internal/report (the same cost block cmd/nearclique
 // -json emits), so downstream tooling parses both identically.
 //
+// With -load it instead measures the graph-load paths — text edge-list
+// parse vs `.ncsr` snapshot mmap at equal graph shape — and emits
+// BENCH_graph.json: wall time, runtime.ReadMemStats heap growth,
+// allocations, and file sizes per workload and format. An explicit
+// -input file (edge list, .txt.gz, or .ncsr snapshot — auto-detected) is
+// measured instead of the synthetic grid when given.
+//
 // Usage:
 //
-//	bench                 # full grid (tens of seconds)
+//	bench                 # full engine grid (tens of seconds)
 //	bench -quick          # small grid for CI
 //	bench -o BENCH_engine.json
+//	bench -load -o BENCH_graph.json       # load-path comparison, n=1e5/1e6
+//	bench -load -input web.ncsr           # load a specific file
 package main
 
 import (
@@ -19,7 +28,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"nearclique/internal/congest"
@@ -27,6 +38,7 @@ import (
 	"nearclique/internal/expt"
 	"nearclique/internal/gen"
 	"nearclique/internal/graph"
+	"nearclique/internal/graphio"
 	"nearclique/internal/report"
 )
 
@@ -37,6 +49,15 @@ type Report struct {
 	GOMAXPROCS int                  `json:"gomaxprocs"`
 	Quick      bool                 `json:"quick"`
 	Results    []report.Measurement `json:"results"`
+}
+
+// LoadReport is the -load emitted file (BENCH_graph.json).
+type LoadReport struct {
+	Generated  string                   `json:"generated"`
+	GoVersion  string                   `json:"go_version"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Quick      bool                     `json:"quick"`
+	Results    []report.LoadMeasurement `json:"results"`
 }
 
 func main() {
@@ -50,20 +71,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick = fs.Bool("quick", false, "small grid for CI")
 		out   = fs.String("o", "", "write the JSON report to this file (default stdout)")
 		seed  = fs.Int64("seed", 1, "base seed")
+		load  = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
+		input = fs.String("input", "", "with -load: measure this graph file (auto-detected format) instead of the synthetic grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	rep := Report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
+	var payload interface{}
+	if *load {
+		results, err := loadBenchmarks(stderr, *quick, *seed, *input)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		payload = LoadReport{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+			Results:    results,
+		}
+	} else {
+		rep := Report{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+		}
+		rep.Results = append(rep.Results, gossipBenchmarks(stderr, *quick, *seed)...)
+		rep.Results = append(rep.Results, findBenchmarks(stderr, *quick, *seed)...)
+		payload = rep
 	}
-	rep.Results = append(rep.Results, gossipBenchmarks(stderr, *quick, *seed)...)
-	rep.Results = append(rep.Results, findBenchmarks(stderr, *quick, *seed)...)
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	enc, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		fmt.Fprintln(stderr, "bench:", err)
 		return 1
@@ -158,6 +198,7 @@ func measure(name string, engine congest.Engine, g *graph.Graph, fn func() *cong
 			best.Frames = m.Frames
 			best.PayloadBytes = m.Bits / 8
 			best.Allocs = ms1.Mallocs - ms0.Mallocs
+			best.HeapBytes = heapGrowth(&ms0, &ms1)
 		}
 	}
 	if best.WallNS > 0 {
@@ -233,6 +274,7 @@ func measureFind(name string, engine congest.Engine, g *graph.Graph, fn func() *
 			best.Frames = r.Metrics.Frames
 			best.PayloadBytes = r.Metrics.Bits / 8
 			best.Allocs = ms1.Mallocs - ms0.Mallocs
+			best.HeapBytes = heapGrowth(&ms0, &ms1)
 		}
 	}
 	if best.WallNS > 0 {
@@ -244,6 +286,139 @@ func measureFind(name string, engine congest.Engine, g *graph.Graph, fn func() *
 		best.AllocsPerRnd = round2(float64(best.Allocs) / float64(best.Rounds))
 	}
 	return best
+}
+
+// heapGrowth returns the live-heap growth across a measured region (the
+// caller GC'd immediately before reading ms0), clamped at zero.
+func heapGrowth(ms0, ms1 *runtime.MemStats) uint64 {
+	if ms1.HeapAlloc <= ms0.HeapAlloc {
+		return 0
+	}
+	return ms1.HeapAlloc - ms0.HeapAlloc
+}
+
+// --- load: text parse vs snapshot mmap ----------------------------------
+
+// loadBenchmarks measures the two graph-load paths at equal graph shape.
+// With an -input file it measures that file as-is (auto-detected format);
+// otherwise it writes the E13 planted instances (the same grid the engine
+// benchmarks run, ending at n=1e6; quick stays CI-sized) to a temp dir in
+// both formats and loads each back.
+func loadBenchmarks(stderr io.Writer, quick bool, seed int64, input string) ([]report.LoadMeasurement, error) {
+	if input != "" {
+		m, err := measureLoad("input/"+filepath.Base(input), formatOf(input), input)
+		if err != nil {
+			return nil, err
+		}
+		return []report.LoadMeasurement{m}, nil
+	}
+
+	points := expt.ScalePoints(quick)
+	if !quick && len(points) > 2 {
+		points = points[len(points)-2:] // n=1e5 and n=1e6: the load-path story
+	}
+	dir, err := os.MkdirTemp("", "bench-load-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var out []report.LoadMeasurement
+	for _, pt := range points {
+		n := pt.N
+		name := fmt.Sprintf("load/planted-n%d", n)
+		fmt.Fprintf(stderr, "bench: %s generating...\n", name)
+		g := expt.ScaleInstance(pt, seed).Graph
+
+		textPath := filepath.Join(dir, fmt.Sprintf("g%d.edges", n))
+		snapPath := filepath.Join(dir, fmt.Sprintf("g%d.ncsr", n))
+		if err := writeFileWith(textPath, func(w io.Writer) error { return graphio.Write(w, g) }); err != nil {
+			return nil, err
+		}
+		if err := graphio.WriteSnapshotFile(snapPath, g); err != nil {
+			return nil, err
+		}
+
+		var textNS int64
+		for _, f := range []struct{ format, path string }{
+			{"text", textPath},
+			{"snap", snapPath},
+		} {
+			fmt.Fprintf(stderr, "bench: %s %s...\n", name, f.format)
+			m, err := measureLoad(name, f.format, f.path)
+			if err != nil {
+				return nil, err
+			}
+			if f.format == "text" {
+				textNS = m.WallNS
+			} else if m.WallNS > 0 {
+				m.SpeedupVsText = round2(float64(textNS) / float64(m.WallNS))
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// measureLoad loads one graph file a few times (best-of-k) and records
+// wall time plus runtime.ReadMemStats heap growth and allocation count.
+func measureLoad(name, format, path string) (report.LoadMeasurement, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return report.LoadMeasurement{}, err
+	}
+	best := report.LoadMeasurement{Workload: name, Format: format, FileBytes: st.Size()}
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		g, closeGraph, err := graphio.Load(path)
+		wall := time.Since(start).Nanoseconds()
+		if err != nil {
+			return best, err
+		}
+		runtime.ReadMemStats(&ms1)
+		if i == 0 || wall < best.WallNS {
+			best.WallNS = wall
+			best.N = g.N()
+			best.M = g.M()
+			best.HeapBytes = heapGrowth(&ms0, &ms1)
+			best.Allocs = ms1.Mallocs - ms0.Mallocs
+		}
+		if err := closeGraph(); err != nil {
+			return best, err
+		}
+	}
+	if best.WallNS > 0 {
+		best.MBPerSec = round2(float64(best.FileBytes) / (float64(best.WallNS) / 1e9) / 1e6)
+	}
+	return best, nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// formatOf labels an -input file for the report by its extension.
+func formatOf(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".ncsr"):
+		return "snap"
+	case strings.HasSuffix(path, ".gz"):
+		return "gzip"
+	default:
+		return "text"
+	}
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

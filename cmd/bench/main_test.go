@@ -60,3 +60,58 @@ func TestBenchBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+// TestBenchLoadQuickEmitsValidJSON: -load must emit a text and a snap
+// record per grid point, with matching graph shapes and the snapshot
+// loading strictly faster than the text parse.
+func TestBenchLoadQuickEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "graph.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-load", "-quick", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 || len(rep.Results)%2 != 0 {
+		t.Fatalf("want text/snap record pairs, got %d records", len(rep.Results))
+	}
+	shapes := map[string][2]int{}
+	textNS := map[string]int64{}
+	for _, r := range rep.Results {
+		if r.WallNS <= 0 || r.N <= 0 || r.M <= 0 || r.FileBytes <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		shape := [2]int{r.N, r.M}
+		if prev, ok := shapes[r.Workload]; ok && prev != shape {
+			t.Fatalf("%s: formats loaded different graphs: %v vs %v", r.Workload, prev, shape)
+		}
+		shapes[r.Workload] = shape
+		switch r.Format {
+		case "text":
+			textNS[r.Workload] = r.WallNS
+		case "snap":
+			if r.SpeedupVsText <= 1 {
+				t.Fatalf("%s: snapshot load not faster than text (%.2fx)", r.Workload, r.SpeedupVsText)
+			}
+			if r.Allocs > 1000 {
+				t.Fatalf("%s: snapshot open allocated %d times; the path is supposed to be O(1) allocations", r.Workload, r.Allocs)
+			}
+		default:
+			t.Fatalf("unknown format %q", r.Format)
+		}
+	}
+	for wl, ns := range textNS {
+		if ns == 0 {
+			t.Fatalf("%s: missing text record", wl)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 // Command gengraph generates the synthetic graph families used throughout
-// the paper's reproduction and writes them as edge lists to stdout.
+// the paper's reproduction and writes them to stdout, either as plain-text
+// edge lists (the default) or as `.ncsr` binary snapshots (-format snap),
+// which cmd/nearclique and cmd/bench memory-map instead of parsing.
 //
 // Usage:
 //
 //	gengraph -family planted -n 500 -size 150 -epsin 0.01 -pout 0.05 > g.edges
 //	gengraph -family shingles -n 240 -delta 0.5 > counterexample.edges
 //	gengraph -family er -n 1000 -p 0.05 > random.edges
+//	gengraph -family planted -n 1000000 -size 3000 -format snap > g.ncsr
 package main
 
 import (
@@ -36,8 +39,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m      = fs.Int("m", 3, "attachment edges per node (web)")
 		withA  = fs.Bool("witha", true, "keep A's edges (twocliques)")
 		seed   = fs.Int64("seed", 1, "random seed")
+		format = fs.String("format", "edges", `output format: "edges" (plain text) or "snap" (.ncsr binary snapshot)`)
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Resolve the output format before generating: a typo'd -format must
+	// fail instantly, not after a multi-second million-node generation.
+	write := nearclique.WriteGraph
+	switch *format {
+	case "edges", "text":
+	case "snap", "ncsr":
+		write = nearclique.WriteSnapshot
+	default:
+		fmt.Fprintf(stderr, "gengraph: unknown format %q (want edges|snap)\n", *format)
 		return 2
 	}
 
@@ -63,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(res.Planted) > 0 {
 		fmt.Fprintf(stderr, "# planted set (ε=%.4f): %v\n", res.EpsActual, res.Planted)
 	}
-	if err := nearclique.WriteGraph(stdout, res.Graph); err != nil {
+	if err := write(stdout, res.Graph); err != nil {
 		fmt.Fprintln(stderr, "gengraph:", err)
 		return 1
 	}

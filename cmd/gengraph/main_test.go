@@ -40,6 +40,34 @@ func TestGenerateUnknownFamily(t *testing.T) {
 	}
 }
 
+// TestGenerateSnapshotFormat: -format snap emits a `.ncsr` snapshot of
+// the exact graph the edge-list output describes.
+func TestGenerateSnapshotFormat(t *testing.T) {
+	args := []string{"-family", "planted", "-n", "120", "-size", "30", "-seed", "4"}
+	var text, snap, errOut bytes.Buffer
+	if code := run(args, &text, &errOut); code != 0 {
+		t.Fatalf("edges run failed: %s", errOut.String())
+	}
+	if code := run(append(args, "-format", "snap"), &snap, &errOut); code != 0 {
+		t.Fatalf("snap run failed: %s", errOut.String())
+	}
+	g1, err := nearclique.ReadGraph(strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := nearclique.ReadGraph(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("snapshot output unreadable: %v", err)
+	}
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatalf("formats disagree: (%d,%d) vs (%d,%d)", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+	var errOut2 bytes.Buffer
+	if code := run([]string{"-format", "nope"}, &text, &errOut2); code != 2 {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
 	gen := func() string {
 		var out, errOut bytes.Buffer

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -127,5 +130,67 @@ func TestRunDistributedAsync(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "safes=") {
 		t.Fatalf("async mode missing synchronizer metrics: %s", out.String())
+	}
+}
+
+// TestRunAutoDetectsInputFormats: the same graph as a plain edge list, a
+// gzip-compressed edge list, and a mmapped `.ncsr` snapshot must produce
+// identical output through the file-argument path, and the snapshot must
+// also work piped through stdin.
+func TestRunAutoDetectsInputFormats(t *testing.T) {
+	inst := nearclique.GenPlantedClique(100, 35, 0.03, 9)
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "g.edges")
+	var text bytes.Buffer
+	if err := nearclique.WriteGraph(&text, inst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(textPath, text.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gzPath := filepath.Join(dir, "g.txt.gz")
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(text.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, gz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snapPath := filepath.Join(dir, "g.ncsr")
+	var snap bytes.Buffer
+	if err := nearclique.WriteSnapshot(&snap, inst.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args := []string{"-eps", "0.25", "-s", "7", "-seed", "3"}
+	var want string
+	for i, path := range []string{textPath, gzPath, snapPath} {
+		var out, errOut bytes.Buffer
+		code := run(append(append([]string(nil), args...), path), strings.NewReader(""), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", path, code, errOut.String())
+		}
+		if i == 0 {
+			want = out.String()
+		} else if out.String() != want {
+			t.Fatalf("%s: output differs from plain edge list", path)
+		}
+	}
+	var out, errOut bytes.Buffer
+	if code := run(args, bytes.NewReader(snap.Bytes()), &out, &errOut); code != 0 {
+		t.Fatalf("snapshot on stdin: exit %d: %s", code, errOut.String())
+	}
+	if out.String() != want {
+		t.Fatal("snapshot on stdin: output differs")
 	}
 }

@@ -216,9 +216,9 @@ func (e *asyncEngine) startRound(v NodeID) {
 	st := &e.nodes[v]
 	st.safeSelf = false
 	sent := 0
-	base := net.offsets[v]
+	base := net.csr.Offsets[v]
 	for i := range net.g.Neighbors(int(v)) {
-		q := &net.queues[base+i]
+		q := &net.queues[base+int64(i)]
 		if q.empty() {
 			continue
 		}
@@ -226,7 +226,7 @@ func (e *asyncEngine) startRound(v NodeID) {
 		// so moving it from queued to in-flight here is a no-op for the
 		// ledger.
 		msg := q.pop()
-		e.schedule(evFrame, v, NodeID(net.edgeTo[base+i]), st.round, msg)
+		e.schedule(evFrame, v, NodeID(net.csr.Targets[base+int64(i)]), st.round, msg)
 		e.countFrame(msg)
 		sent++
 	}

@@ -148,11 +148,12 @@ type Network struct {
 	ctxs  []*Context
 	ids   []int64 // protocol IDs: pseudorandom permutation of [0, n)
 
+	// csr is the graph's shared CSR view: the engines index their flat
+	// send/receive buffers with it directly — no private copies or aliases
+	// of the offsets/targets arena are kept anywhere in this package.
 	csr      *graph.CSR
 	queues   []fifo  // one per directed edge, CSR-indexed
-	offsets  []int   // = csr.Offsets: node -> first directed-edge index
 	edgeFrom []int32 // directed edge -> sender (legacy sync engine only)
-	edgeTo   []int32 // = csr.Targets: directed edge -> receiver
 
 	activeEdges []int32 // legacy: directed-edge indices with non-empty queues
 	activeFlag  []bool
@@ -239,14 +240,12 @@ func NewNetwork(g *graph.Graph, opts Options, procFor func(ctx *Context) Proc) *
 	n := g.N()
 	csr := g.CSR()
 	net := &Network{
-		g:       g,
-		opts:    opts,
-		procs:   make([]Proc, n),
-		ctxs:    make([]*Context, n),
-		ids:     permutedIDs(n, opts.Seed),
-		csr:     csr,
-		offsets: csr.Offsets,
-		edgeTo:  csr.Targets,
+		g:     g,
+		opts:  opts,
+		procs: make([]Proc, n),
+		ctxs:  make([]*Context, n),
+		ids:   permutedIDs(n, opts.Seed),
+		csr:   csr,
 	}
 	net.frameBits = opts.FrameBits
 	if net.frameBits == 0 {
@@ -419,8 +418,8 @@ func (c *Context) Broadcast(msg Message) {
 		panic(fmt.Sprintf("congest: frame of %d bits exceeds budget %d (n=%d): %T",
 			b, net.frameBits, net.g.N(), msg))
 	}
-	for edge := net.offsets[c.idx]; edge < net.offsets[c.idx+1]; edge++ {
-		c.enqueue(edge, msg)
+	for edge := net.csr.Offsets[c.idx]; edge < net.csr.Offsets[c.idx+1]; edge++ {
+		c.enqueue(int(edge), msg)
 	}
 }
 
@@ -490,7 +489,7 @@ func (net *Network) stepRound() {
 		} else {
 			net.activeFlag[e] = false
 		}
-		from, to := int(net.edgeFrom[e]), int(net.edgeTo[e])
+		from, to := int(net.edgeFrom[e]), int(net.csr.Targets[e])
 		if !net.touchedFlag[to] {
 			net.touchedFlag[to] = true
 			net.touched = append(net.touched, int32(to))

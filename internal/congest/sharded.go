@@ -280,11 +280,11 @@ func (e *shardedEngine) deliverShard(si int) {
 	var (
 		ctx  *Context
 		proc Proc
-		hi   int
+		hi   int64
 		have bool
 	)
 	for _, p := range gather {
-		if !have || int(p.re) >= hi {
+		if !have || int64(p.re) >= hi {
 			v := csr.Targets[csr.Rev[p.re]]
 			hi = csr.Offsets[v+1]
 			ctx, proc = net.ctxs[v], net.procs[v]

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestFromArenaRoundTrip: wrapping the arena of any built graph must yield
+// an identical graph without copying.
+func TestFromArenaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		g := FromEdgeList(n, randomEdges(n, 0.3, rng))
+		offsets, targets := g.Arena()
+		h, err := FromArena(offsets, targets)
+		if err != nil {
+			t.Fatalf("trial %d: FromArena rejected a valid arena: %v", trial, err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("trial %d: shape mismatch (%d,%d) vs (%d,%d)", trial, h.N(), h.M(), g.N(), g.M())
+		}
+		ho, ht := h.Arena()
+		if len(ho) > 0 && &ho[0] != &offsets[0] {
+			t.Fatalf("trial %d: FromArena copied offsets", trial)
+		}
+		if len(ht) > 0 && &ht[0] != &targets[0] {
+			t.Fatalf("trial %d: FromArena copied targets", trial)
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(v) {
+				if !h.HasEdge(v, int(w)) {
+					t.Fatalf("trial %d: edge (%d,%d) lost", trial, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFromArenaRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		offsets []int64
+		targets []int32
+	}{
+		{"empty offsets", nil, nil},
+		{"nonzero start", []int64{1, 1}, nil},
+		{"bad total", []int64{0, 2}, []int32{1}},
+		{"not monotone", []int64{0, 2, 1, 3}, []int32{1, 2, 0}},
+		{"target out of range", []int64{0, 1, 2}, []int32{1, 5}},
+		{"negative target", []int64{0, 1, 2}, []int32{1, -1}},
+		{"self-loop", []int64{0, 1, 2}, []int32{0, 0}},
+		{"unsorted row", []int64{0, 2, 3, 4}, []int32{2, 1, 0, 0}},
+		{"duplicate target", []int64{0, 2, 3, 4}, []int32{1, 1, 0, 0}},
+		{"asymmetric", []int64{0, 1, 1}, []int32{1}},
+		{"asymmetric pair", []int64{0, 1, 2, 3}, []int32{1, 2, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := FromArena(tc.offsets, tc.targets); !errors.Is(err, ErrArena) {
+			t.Errorf("%s: err = %v, want ErrArena", tc.name, err)
+		}
+	}
+	// The empty graph (n=0) is valid.
+	if _, err := FromArena([]int64{0}, nil); err != nil {
+		t.Errorf("empty graph rejected: %v", err)
+	}
+}

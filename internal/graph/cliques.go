@@ -135,7 +135,7 @@ func (g *Graph) GreedyPeel() ([]int, float64) {
 		alive.Remove(v)
 		order = append(order, v)
 		edges -= deg[v]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			u := int(w)
 			if !alive.Contains(u) {
 				continue

@@ -4,11 +4,15 @@ package graph
 // every undirected edge {u, v} appears as the two directed edges (u→v) and
 // (v→u). Directed edges are numbered 0..2M()-1, grouped by sender in node
 // order, and sorted by target within each sender's range — the layout the
-// CONGEST engine indexes its flat send/receive buffers with.
+// CONGEST engines index their flat send/receive buffers with.
+//
+// Offsets and Targets alias the graph's canonical arena (Graph.Arena);
+// only Rev is built on demand. Nothing here may be modified, and for
+// snapshot-backed graphs Offsets/Targets point into a read-only mapping.
 type CSR struct {
 	// Offsets has length N()+1; sender v's directed edges occupy
 	// [Offsets[v], Offsets[v+1]).
-	Offsets []int
+	Offsets []int64
 	// Targets[e] is the receiver of directed edge e (ascending within each
 	// sender's range, mirroring Neighbors).
 	Targets []int32
@@ -21,54 +25,45 @@ type CSR struct {
 func (c *CSR) NumEdges() int { return len(c.Targets) }
 
 // EdgeTo returns the directed-edge index (from→to), or -1 if to is not a
-// neighbor of from, via binary search over from's sorted range.
+// neighbor of from, via binary search over from's sorted range. Callers
+// that only need membership should use Graph.HasEdge, which searches the
+// same arena without requiring the Rev sidecar to have been built.
 func (c *CSR) EdgeTo(from, to int32) int {
-	lo, hi := c.Offsets[from], c.Offsets[from+1]
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if c.Targets[mid] < to {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < c.Offsets[from+1] && c.Targets[lo] == to {
-		return lo
-	}
-	return -1
+	return int(searchArena(c.Offsets, c.Targets, int(from), to))
 }
 
-// CSR returns the graph's CSR view, built on first use and cached. The
-// returned structure is shared and must not be modified.
+// CSR returns the graph's CSR view, built on first use and cached.
+// Offsets and Targets alias the graph's arena with no copying; only the
+// Rev pairing (needed by the CONGEST engines' flat delivery buffers) is
+// computed here. The returned structure is shared and must not be
+// modified; concurrent first calls are safe.
 func (g *Graph) CSR() *CSR {
 	g.csrOnce.Do(func() {
 		n := g.N()
-		c := &CSR{Offsets: make([]int, n+1)}
-		total := 0
-		for v := 0; v < n; v++ {
-			c.Offsets[v] = total
-			total += len(g.adj[v])
-		}
-		c.Offsets[n] = total
-		c.Targets = make([]int32, total)
-		c.Rev = make([]int32, total)
-		for v := 0; v < n; v++ {
-			copy(c.Targets[c.Offsets[v]:], g.adj[v])
-		}
+		rev := make([]int32, len(g.targets))
 		// Reverse indices by a counting pass: iterating all directed edges
 		// (u→v) in increasing u visits, for each fixed v, its in-neighbors u
 		// in ascending order — exactly v's sorted neighbor order — so a
 		// per-node cursor pairs each edge with its reverse.
-		cursor := make([]int, n)
-		copy(cursor, c.Offsets[:n])
+		cursor := make([]int64, n)
+		copy(cursor, g.offsets[:n])
 		for u := 0; u < n; u++ {
-			for e := c.Offsets[u]; e < c.Offsets[u+1]; e++ {
-				v := c.Targets[e]
-				c.Rev[e] = int32(cursor[v])
-				cursor[v]++
+			for e := g.offsets[u]; e < g.offsets[u+1]; e++ {
+				v := g.targets[e]
+				c := cursor[v]
+				if c >= int64(len(rev)) {
+					// Unreachable for a symmetric graph. FromArena's
+					// symmetry fingerprint is probabilistic, so an
+					// adversarial arena could overrun a cursor; clamping
+					// keeps every Rev value in range (garbage pairing,
+					// but no engine can index out of bounds through it).
+					c = e
+				}
+				rev[e] = int32(c)
+				cursor[v] = c + 1
 			}
 		}
-		g.csr = c
+		g.csr = &CSR{Offsets: g.offsets, Targets: g.targets, Rev: rev}
 	})
 	return g.csr
 }

@@ -1,41 +1,128 @@
 package graph
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestCSRInvariants(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		g := randomGraph(60, 0.15, seed)
 		c := g.CSR()
-		if len(c.Offsets) != g.N()+1 {
-			t.Fatalf("offsets len %d, want %d", len(c.Offsets), g.N()+1)
+		checkCSRInvariants(t, g, c)
+	}
+}
+
+// checkCSRInvariants pins the CSR contract: offsets shape, degree ranges,
+// target order agreeing with Neighbors, and Rev being a range-respecting
+// involution.
+func checkCSRInvariants(t *testing.T, g *Graph, c *CSR) {
+	t.Helper()
+	if len(c.Offsets) != g.N()+1 {
+		t.Fatalf("offsets len %d, want %d", len(c.Offsets), g.N()+1)
+	}
+	if c.NumEdges() != 2*g.M() {
+		t.Fatalf("NumEdges %d, want %d", c.NumEdges(), 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		lo, hi := c.Offsets[v], c.Offsets[v+1]
+		if int(hi-lo) != g.Degree(v) {
+			t.Fatalf("node %d range %d, want degree %d", v, hi-lo, g.Degree(v))
 		}
-		if c.NumEdges() != 2*g.M() {
-			t.Fatalf("NumEdges %d, want %d", c.NumEdges(), 2*g.M())
-		}
-		for v := 0; v < g.N(); v++ {
-			lo, hi := c.Offsets[v], c.Offsets[v+1]
-			if hi-lo != g.Degree(v) {
-				t.Fatalf("node %d range %d, want degree %d", v, hi-lo, g.Degree(v))
+		for i, w := range g.Neighbors(v) {
+			e := lo + int64(i)
+			if c.Targets[e] != w {
+				t.Fatalf("targets[%d] = %d, want %d", e, c.Targets[e], w)
 			}
-			for i, w := range g.Neighbors(v) {
-				e := lo + i
-				if c.Targets[e] != w {
-					t.Fatalf("targets[%d] = %d, want %d", e, c.Targets[e], w)
+			// Rev is an involution pairing (v→w) with (w→v).
+			re := int64(c.Rev[e])
+			if int64(c.Rev[re]) != e {
+				t.Fatalf("Rev not an involution at %d", e)
+			}
+			if c.Targets[re] != int32(v) {
+				t.Fatalf("Rev[%d] targets %d, want %d", e, c.Targets[re], v)
+			}
+			if re < c.Offsets[w] || re >= c.Offsets[w+1] {
+				t.Fatalf("Rev[%d]=%d outside sender %d's range", e, re, w)
+			}
+		}
+	}
+}
+
+// TestCSRPropertyRandomBuilds pins the CSR invariants — offsets monotone,
+// sorted targets per sender, Rev[Rev[e]] == e — against random graphs from
+// both construction paths (dense Builder and SparseBuilder), plus the
+// arena/CSR aliasing contract: the CSR must be a view of the same arena
+// Neighbors slices into, not a copy.
+func TestCSRPropertyRandomBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(80)
+		p := rng.Float64() * 0.5
+		edges := randomEdges(n, p, rng)
+
+		for _, path := range []struct {
+			name string
+			g    *Graph
+		}{
+			{"dense", FromEdges(n, edges)},
+			{"sparse", FromEdgeList(n, edges)},
+		} {
+			g, c := path.g, path.g.CSR()
+			// Offsets monotone non-decreasing, starting at 0.
+			if c.Offsets[0] != 0 {
+				t.Fatalf("%s trial %d: offsets[0] = %d", path.name, trial, c.Offsets[0])
+			}
+			for v := 0; v < n; v++ {
+				if c.Offsets[v+1] < c.Offsets[v] {
+					t.Fatalf("%s trial %d: offsets not monotone at %d", path.name, trial, v)
 				}
-				// Rev is an involution pairing (v→w) with (w→v).
-				re := int(c.Rev[e])
-				if int(c.Rev[re]) != e {
-					t.Fatalf("Rev not an involution at %d", e)
+				// Targets strictly ascending per sender.
+				row := c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+				for i := 1; i < len(row); i++ {
+					if row[i-1] >= row[i] {
+						t.Fatalf("%s trial %d: node %d targets not strictly ascending", path.name, trial, v)
+					}
 				}
-				if c.Targets[re] != int32(v) {
-					t.Fatalf("Rev[%d] targets %d, want %d", e, c.Targets[re], v)
-				}
-				if re < c.Offsets[w] || re >= c.Offsets[w+1] {
-					t.Fatalf("Rev[%d]=%d outside sender %d's range", e, re, w)
+			}
+			checkCSRInvariants(t, g, c)
+			// The CSR aliases the canonical arena: same backing memory.
+			offsets, targets := g.Arena()
+			if len(offsets) > 0 && (&offsets[0] != &c.Offsets[0]) {
+				t.Fatalf("%s trial %d: CSR.Offsets is a copy of the arena", path.name, trial)
+			}
+			if len(targets) > 0 && &targets[0] != &c.Targets[0] {
+				t.Fatalf("%s trial %d: CSR.Targets is a copy of the arena", path.name, trial)
+			}
+			if g.M() > 0 {
+				nb := g.Neighbors(firstNonIsolated(g))
+				if &nb[0] != &c.Targets[c.Offsets[firstNonIsolated(g)]] {
+					t.Fatalf("%s trial %d: Neighbors does not slice the arena", path.name, trial)
 				}
 			}
 		}
 	}
+}
+
+func randomEdges(n int, p float64, rng *rand.Rand) [][2]int {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+func firstNonIsolated(g *Graph) int {
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			return v
+		}
+	}
+	return 0
 }
 
 func TestCSREdgeTo(t *testing.T) {
@@ -45,7 +132,7 @@ func TestCSREdgeTo(t *testing.T) {
 		for v := 0; v < g.N(); v++ {
 			e := c.EdgeTo(int32(u), int32(v))
 			if g.HasEdge(u, v) {
-				if e < 0 || c.Targets[e] != int32(v) || e < c.Offsets[u] || e >= c.Offsets[u+1] {
+				if e < 0 || c.Targets[e] != int32(v) || int64(e) < c.Offsets[u] || int64(e) >= c.Offsets[u+1] {
 					t.Fatalf("EdgeTo(%d,%d) = %d wrong", u, v, e)
 				}
 			} else if e != -1 {

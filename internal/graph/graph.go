@@ -10,7 +10,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"nearclique/internal/bitset"
@@ -18,18 +17,28 @@ import (
 
 // Graph is an immutable simple undirected graph.
 //
-// Adjacency is stored as sorted neighbor slices (for iteration); graphs
-// built with Builder additionally carry per-node bitsets (for O(1) edge
-// queries and fast intersection counts). Graphs built with SparseBuilder
-// skip the bitsets — O(n²) bits is prohibitive at millions of nodes — and
-// answer edge queries by binary search; the bitsets are materialized
-// lazily if a dense-only operation needs them. Construct with Builder,
-// SparseBuilder, or the helpers in this package; the zero value is an
-// empty graph with no nodes.
+// The canonical representation is one flat CSR arena shared by every
+// consumer: offsets (length N()+1) delimits each node's slice of targets,
+// which holds all 2·M() directed-edge endpoints contiguously, sorted
+// ascending within each node. Neighbors(v) returns a sub-slice of the
+// arena; no per-node slice headers exist. The arena layout is exactly the
+// on-disk `.ncsr` snapshot layout (see internal/graphio and DESIGN.md §8),
+// so a snapshot-backed graph wraps the mapped bytes with zero copying.
+//
+// Per-node dense adjacency bitsets — O(n²) bits, O(1) HasEdge — are an
+// explicit opt-in sidecar: graphs built with Builder (or AutoBuilder when
+// DenseAuto says so) carry them from construction; all other graphs answer
+// HasEdge by binary search over the arena and materialize the sidecar
+// lazily only if a dense-only operation (clique enumeration, complement
+// construction) demands it. Construct with Builder, SparseBuilder,
+// AutoBuilder, FromArena, or the helpers in this package; the zero value
+// is an empty graph with no nodes.
 type Graph struct {
-	adj  [][]int32
-	rows []*bitset.Set // nil for sparse-built graphs until ensureRows
-	m    int           // number of undirected edges
+	offsets []int64 // length N()+1 (nil only in the zero value)
+	targets []int32 // the shared arena: 2·M() directed-edge endpoints
+	m       int     // number of undirected edges
+
+	rows []*bitset.Set // opt-in dense sidecar; nil until ensureRows
 
 	rowsOnce sync.Once
 	csrOnce  sync.Once
@@ -37,19 +46,56 @@ type Graph struct {
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of node v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v: a sub-slice of the
+// shared CSR arena. It must not be modified, and its capacity is clipped
+// so an append can never bleed into the next node's range.
+func (g *Graph) Neighbors(v int) []int32 {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.targets[lo:hi:hi]
+}
+
+// Arena returns the graph's canonical CSR arena: the shared offsets
+// (length N()+1) and targets (length 2·M()) slices. Both are shared with
+// the graph — and, for snapshot-backed graphs, with the read-only mapped
+// file — and must not be modified. The zero-value empty graph returns
+// (nil, nil).
+func (g *Graph) Arena() (offsets []int64, targets []int32) {
+	return g.offsets, g.targets
+}
+
+// searchArena returns the arena index of directed edge (u→v) by binary
+// search over u's sorted range, or -1 if v is not a neighbor of u.
+func searchArena(offsets []int64, targets []int32, u int, v int32) int64 {
+	lo, hi := offsets[u], offsets[u+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if targets[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < offsets[u+1] && targets[lo] == v {
+		return lo
+	}
+	return -1
+}
 
 // HasEdge reports whether {u, v} is an edge. Self-loops never exist.
+// O(1) when the dense sidecar is materialized, O(log min-degree) otherwise.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
@@ -57,19 +103,16 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if g.rows != nil {
 		return g.rows[u].Contains(v)
 	}
-	// Sparse graph: binary search the shorter neighbor list.
-	a, b := g.adj[u], g.adj[v]
-	if len(b) < len(a) {
-		a, b = b, a
+	// Binary search the shorter neighbor range of the arena.
+	if g.Degree(v) < g.Degree(u) {
 		u, v = v, u
 	}
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-	return i < len(a) && a[i] == int32(v)
+	return searchArena(g.offsets, g.targets, u, int32(v)) >= 0
 }
 
-// ensureRows materializes the per-node adjacency bitsets of a sparse-built
-// graph. This costs O(n²) bits and exists for the dense analysis helpers
-// (clique enumeration, complement construction); it is not meant to run on
+// ensureRows materializes the dense adjacency-bitset sidecar. This costs
+// O(n²) bits and exists for the dense analysis helpers (clique
+// enumeration, complement construction); it is not meant to run on
 // million-node graphs.
 func (g *Graph) ensureRows() {
 	g.rowsOnce.Do(func() {
@@ -79,7 +122,7 @@ func (g *Graph) ensureRows() {
 		rows := make([]*bitset.Set, g.N())
 		for v := range rows {
 			row := bitset.New(g.N())
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				row.Add(int(w))
 			}
 			rows[v] = row
@@ -88,9 +131,9 @@ func (g *Graph) ensureRows() {
 	})
 }
 
-// AdjRow returns the adjacency bitset of v, materializing the bitsets on
-// first use for sparse-built graphs. It is shared with the graph and must
-// not be modified.
+// AdjRow returns the adjacency bitset of v, materializing the sidecar on
+// first use for graphs built without it. It is shared with the graph and
+// must not be modified.
 func (g *Graph) AdjRow(v int) *bitset.Set {
 	if g.rows == nil {
 		g.ensureRows()
@@ -104,7 +147,7 @@ func (g *Graph) DegreeIn(v int, set *bitset.Set) int {
 		return g.rows[v].IntersectionCount(set)
 	}
 	count := 0
-	for _, w := range g.adj[v] {
+	for _, w := range g.Neighbors(v) {
 		if set.Contains(int(w)) {
 			count++
 		}
@@ -112,7 +155,8 @@ func (g *Graph) DegreeIn(v int, set *bitset.Set) int {
 	return count
 }
 
-// Builder accumulates edges and produces an immutable Graph.
+// Builder accumulates edges and produces an immutable Graph that carries
+// the dense adjacency-bitset sidecar from construction.
 // Duplicate edges and self-loops are ignored.
 type Builder struct {
 	n    int
@@ -161,23 +205,30 @@ func (b *Builder) RemoveEdge(u, v int) {
 	b.rows[v].Remove(u)
 }
 
-// Build finalizes the graph. The Builder remains usable afterwards.
+// Build finalizes the graph: the bitset rows are laid out as one flat CSR
+// arena (ascending targets per node, matching bitset iteration order) and
+// cloned into the dense sidecar. The Builder remains usable afterwards.
 func (b *Builder) Build() *Graph {
-	g := &Graph{
-		adj:  make([][]int32, b.n),
-		rows: make([]*bitset.Set, b.n),
+	g := &Graph{rows: make([]*bitset.Set, b.n)}
+	offsets := make([]int64, b.n+1)
+	total := int64(0)
+	for v := 0; v < b.n; v++ {
+		offsets[v] = total
+		total += int64(b.rows[v].Count())
 	}
-	total := 0
+	offsets[b.n] = total
+	targets := make([]int32, total)
 	for v := 0; v < b.n; v++ {
 		row := b.rows[v].Clone()
 		g.rows[v] = row
-		deg := row.Count()
-		nbrs := make([]int32, 0, deg)
-		row.ForEach(func(u int) { nbrs = append(nbrs, int32(u)) })
-		g.adj[v] = nbrs
-		total += deg
+		i := offsets[v]
+		row.ForEach(func(u int) {
+			targets[i] = int32(u)
+			i++
+		})
 	}
-	g.m = total / 2
+	g.offsets, g.targets = offsets, targets
+	g.m = int(total / 2)
 	return g
 }
 
@@ -194,7 +245,7 @@ func FromEdges(n int, edges [][2]int) *Graph {
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
 	for u := 0; u < g.N(); u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if int(v) > u {
 				out = append(out, [2]int{u, int(v)})
 			}
@@ -208,7 +259,7 @@ func (g *Graph) Edges() [][2]int {
 // (sorted by original index).
 func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
 	keep := append([]int(nil), nodes...)
-	sort.Ints(keep)
+	sortInts(keep)
 	// De-duplicate.
 	keep = dedupSorted(keep)
 	index := make(map[int]int, len(keep))
@@ -217,7 +268,7 @@ func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
 	}
 	b := NewBuilder(len(keep))
 	for i, v := range keep {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if j, ok := index[int(w)]; ok && j > i {
 				b.AddEdge(i, j)
 			}

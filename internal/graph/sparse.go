@@ -6,11 +6,11 @@ import (
 )
 
 // SparseBuilder accumulates edges as a packed list and produces an
-// immutable Graph without per-node dense bitsets, so million-node graphs
+// immutable Graph without the dense bitset sidecar, so million-node graphs
 // cost O(n + m) memory instead of O(n²) bits. Graphs built this way answer
-// HasEdge by binary search; the dense adjacency rows needed by the
-// clique-enumeration helpers are materialized lazily on first use (see
-// Graph.AdjRow), which is only advisable for small graphs.
+// HasEdge by binary search over the CSR arena; the dense adjacency rows
+// needed by the clique-enumeration helpers are materialized lazily on
+// first use (see Graph.AdjRow), which is only advisable for small graphs.
 //
 // Duplicate edges and self-loops are ignored, like Builder's.
 type SparseBuilder struct {
@@ -45,8 +45,8 @@ func (b *SparseBuilder) AddEdge(u, v int) {
 }
 
 // Build finalizes the graph: sorts the edge list, drops duplicates, and
-// lays out sorted neighbor slices over one shared backing array. The
-// builder remains usable afterwards.
+// lays the neighbor lists out directly in one flat CSR arena. The builder
+// remains usable afterwards.
 func (b *SparseBuilder) Build() *Graph {
 	edges := append([]uint64(nil), b.edges...)
 	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
@@ -60,33 +60,34 @@ func (b *SparseBuilder) Build() *Graph {
 	}
 	edges = edges[:w]
 
-	deg := make([]int, b.n)
+	offsets := make([]int64, b.n+1)
 	for _, e := range edges {
-		deg[e>>32]++
-		deg[uint32(e)]++
+		offsets[(e>>32)+1]++
+		offsets[uint32(e)+1]++
 	}
-	g := &Graph{adj: make([][]int32, b.n), m: len(edges)}
-	backing := make([]int32, 2*len(edges))
-	off := 0
 	for v := 0; v < b.n; v++ {
-		g.adj[v] = backing[off : off : off+deg[v]]
-		off += deg[v]
+		offsets[v+1] += offsets[v]
 	}
+	targets := make([]int32, 2*len(edges))
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
 	for _, e := range edges {
 		u, v := int32(e>>32), int32(uint32(e))
-		g.adj[u] = append(g.adj[u], v)
-		g.adj[v] = append(g.adj[v], u)
+		targets[cursor[u]] = v
+		cursor[u]++
+		targets[cursor[v]] = u
+		cursor[v]++
 	}
-	// Each adj[u] holds v-ascending entries from the u<v pass interleaved
-	// with the v>u pass; both passes emit ascending targets, but their merge
-	// is not sorted — sort each row (cheap: rows share the backing array).
+	// Each node's range holds v-ascending entries from the u<v pass
+	// interleaved with the v>u pass; both passes emit ascending targets,
+	// but their merge is not sorted — sort each range in place.
 	for v := 0; v < b.n; v++ {
-		row := g.adj[v]
+		row := targets[offsets[v]:offsets[v+1]]
 		if !int32sSorted(row) {
 			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
 		}
 	}
-	return g
+	return &Graph{offsets: offsets, targets: targets, m: len(edges)}
 }
 
 func int32sSorted(xs []int32) bool {
@@ -99,7 +100,8 @@ func int32sSorted(xs []int32) bool {
 }
 
 // FromEdgeList builds a graph on n nodes from an edge list using the
-// sparse path (no dense bitsets); the graph of choice for large inputs.
+// sparse path (no dense bitset sidecar); the graph of choice for large
+// inputs.
 func FromEdgeList(n int, edges [][2]int) *Graph {
 	b := NewSparseBuilder(n)
 	for _, e := range edges {

@@ -33,7 +33,7 @@ func (g *Graph) ComponentsOf(set *bitset.Set) [][]int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				u := int(w)
 				if inSet(u) && !seen.Contains(u) {
 					seen.Add(u)
@@ -67,7 +67,7 @@ func (g *Graph) BFSDistances(src int, set *bitset.Set) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			u := int(w)
 			if inSet(u) && dist[u] < 0 {
 				dist[u] = dist[v] + 1
@@ -115,7 +115,7 @@ func (g *Graph) Diameter(set *bitset.Set) int {
 func (g *Graph) NeighborhoodOf(set *bitset.Set) *bitset.Set {
 	out := bitset.New(g.N())
 	set.ForEach(func(v int) {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			out.Add(int(w))
 		}
 	})

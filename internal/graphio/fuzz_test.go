@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"nearclique/internal/graph"
 )
 
 // Malformed-input table: every entry must produce an error — never a
@@ -70,6 +72,59 @@ var errTruncated = &truncErr{}
 type truncErr struct{}
 
 func (*truncErr) Error() string { return "simulated truncation" }
+
+// FuzzSnapshot: the .ncsr decoder must never panic on any byte string —
+// truncated or corrupted headers, bad checksums, overlapping or misaligned
+// sections, and structurally invalid arenas must all surface as errors.
+// Inputs that do decode must re-serialize byte-identically (the format is
+// canonical) and satisfy the graph invariants FromArena guarantees.
+func FuzzSnapshot(f *testing.F) {
+	// Seeds: valid snapshots of a few shapes plus near-miss corruptions.
+	for _, g := range []*graph.Graph{
+		graph.FromEdgeList(0, nil),
+		graph.FromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {3, 4}}),
+		graph.FromEdges(8, [][2]int{{0, 7}, {2, 5}, {5, 6}, {0, 2}}),
+	} {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+		if len(valid) > snapHeaderSize {
+			tampered := append([]byte(nil), valid...)
+			tampered[snapHeaderSize] ^= 1
+			f.Add(tampered)
+		}
+	}
+	f.Add([]byte("NCSR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if g.N() > MaxNodes || g.M() > MaxEdges {
+			t.Fatalf("decoded snapshot exceeds caps: n=%d m=%d", g.N(), g.M())
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted snapshot is not canonical: %d in, %d out", len(data), buf.Len())
+		}
+		// Spot-check symmetry on the decoded graph.
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if !g.HasEdge(int(w), v) {
+					t.Fatalf("asymmetric edge (%d,%d) survived decoding", v, w)
+				}
+			}
+		}
+	})
+}
 
 // FuzzRead: arbitrary input must never panic or allocate absurdly; valid
 // parses must survive a Write/Read round-trip unchanged.

@@ -1,5 +1,8 @@
-// Package graphio reads and writes graphs as plain-text edge lists, the
-// interchange format of the cmd/ tools:
+// Package graphio reads and writes graphs in the interchange formats of
+// the cmd/ tools: plain-text edge lists (optionally gzip-compressed) and
+// the `.ncsr` zero-copy binary snapshot format (snapshot.go).
+//
+// The edge-list format:
 //
 //	# comment lines start with '#'
 //	n 128          # node count (optional if every node has an edge)
@@ -7,14 +10,20 @@
 //	0 5
 //	...
 //
-// Node indices are 0-based.
+// Node indices are 0-based. Read detects gzip input transparently by its
+// magic bytes, so `.txt.gz` edge lists need no special handling; ReadAny
+// additionally detects snapshots, and Load dispatches a file path to the
+// cheapest loader (snapshots are mmapped, not parsed).
 package graphio
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -29,16 +38,42 @@ import (
 // larger graphs.
 var MaxNodes = 1 << 24
 
-// ErrTooLarge is wrapped by every MaxNodes cap violation, so callers can
-// distinguish "input exceeds the configured size cap" (raise MaxNodes and
-// retry) from a malformed input via errors.Is.
-var ErrTooLarge = errors.New("graphio: input exceeds the node-count cap")
+// MaxEdges caps the number of edge lines Read accepts. Transparent gzip
+// decompression makes the edge count, not the input size, the resource
+// being attacked: a kilobyte-sized `.txt.gz` bomb can expand to billions
+// of tiny "u v" lines that would otherwise grow the edge buffer without
+// bound. Decompression therefore stops with ErrTooLarge at this cap.
+// Raise it (before calling Read) for legitimately denser graphs.
+var MaxEdges = 1 << 26
 
-// Read parses an edge list. A leading "n <count>" line fixes the node
-// count; otherwise it is one more than the largest endpoint mentioned.
-// Graphs are built through the sparse path (no per-node dense bitsets),
-// so reading a million-node edge list costs O(n + m).
+// ErrTooLarge is wrapped by every MaxNodes / MaxEdges cap violation, so
+// callers can distinguish "input exceeds the configured size cap" (raise
+// the cap and retry) from a malformed input via errors.Is.
+var ErrTooLarge = errors.New("graphio: input exceeds the configured size cap")
+
+// gzipMagic is the two-byte gzip member header (RFC 1952).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// Read parses an edge list, transparently decompressing gzip input (the
+// stream is sniffed for the gzip magic bytes, so `.txt.gz` files need no
+// flag). A leading "n <count>" line fixes the node count; otherwise it is
+// one more than the largest endpoint mentioned. Graphs are built through
+// the sparse path (no dense bitset sidecar), so reading a million-node
+// edge list costs O(n + m).
 func Read(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: gzip input: %w", err)
+		}
+		defer zr.Close()
+		return readEdgeList(zr)
+	}
+	return readEdgeList(br)
+}
+
+func readEdgeList(r io.Reader) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var edges [][2]int
@@ -83,6 +118,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 		if u >= MaxNodes || v >= MaxNodes {
 			return nil, fmt.Errorf("%w: line %d: node index exceeds limit %d", ErrTooLarge, line, MaxNodes)
 		}
+		if len(edges) >= MaxEdges {
+			return nil, fmt.Errorf("%w: line %d: edge count exceeds limit %d", ErrTooLarge, line, MaxEdges)
+		}
 		if u > maxIdx {
 			maxIdx = u
 		}
@@ -103,7 +141,54 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	return graph.FromEdgeList(n, edges), nil
 }
 
-// Write emits the graph in the format Read accepts.
+// ReadAny parses a graph from a stream of any supported format, sniffed
+// from the leading magic bytes: a `.ncsr` snapshot (decoded via
+// ReadSnapshot — buffered, since a stream cannot be mapped), gzip, or a
+// plain-text edge list.
+func ReadAny(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	if magic, err := br.Peek(4); err == nil && string(magic) == snapMagic {
+		return ReadSnapshot(br)
+	}
+	return Read(br)
+}
+
+// Load opens the graph file at path, dispatching on content: `.ncsr`
+// snapshots in regular files are mmapped via OpenSnapshot (O(ms),
+// zero-copy), everything else — edge lists plain or gzipped, snapshots
+// arriving through pipes, process substitution, or /dev/stdin — is
+// streamed through ReadAny. The returned close function must be called
+// once the graph is no longer in use; it releases the snapshot mapping
+// and is a no-op for parsed graphs.
+func Load(path string) (*graph.Graph, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	nread, _ := io.ReadFull(f, magic[:])
+	if nread == 4 && string(magic[:]) == snapMagic {
+		if st, err := f.Stat(); err == nil && st.Mode().IsRegular() {
+			f.Close()
+			snap, err := OpenSnapshot(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return snap.Graph(), snap.Close, nil
+		}
+	}
+	// Non-snapshot content, or a snapshot on something unmappable (a
+	// FIFO, /dev/stdin): stream it, feeding back the sniffed bytes —
+	// pipes cannot seek.
+	defer f.Close()
+	g, err := ReadAny(io.MultiReader(bytes.NewReader(magic[:nread]), f))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, func() error { return nil }, nil
+}
+
+// Write emits the graph in the plain-text format Read accepts.
 func Write(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {

@@ -1,0 +1,126 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nearclique/internal/gen"
+)
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadGzipTransparent: a gzip-compressed edge list parses identically
+// to the plain one, with no caller-side flag.
+func TestReadGzipTransparent(t *testing.T) {
+	g := gen.SparseErdosRenyi(200, 0.04, 9)
+	var plain bytes.Buffer
+	if err := Write(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(bytes.NewReader(gzipBytes(t, plain.Bytes())))
+	if err != nil {
+		t.Fatalf("gzip Read: %v", err)
+	}
+	sameGraph(t, g, g2)
+
+	// And through Load on a .txt.gz path.
+	path := filepath.Join(t.TempDir(), "g.txt.gz")
+	if err := os.WriteFile(path, gzipBytes(t, plain.Bytes()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g3, closeFn, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(.txt.gz): %v", err)
+	}
+	defer closeFn()
+	sameGraph(t, g, g3)
+}
+
+// TestReadGzipBombHitsCap: a tiny compressed input expanding to a huge
+// edge list must stop at MaxEdges with ErrTooLarge — the decompressed
+// size, not the file size, is what the cap bounds.
+func TestReadGzipBombHitsCap(t *testing.T) {
+	defer func(old int) { MaxEdges = old }(MaxEdges)
+	MaxEdges = 1000
+
+	// ~180 KB of "0 1\n" lines compresses to a few hundred bytes; with the
+	// cap at 1000 edges the parse must abort long before buffering them.
+	bomb := gzipBytes(t, bytes.Repeat([]byte("0 1\n"), 45_000))
+	if len(bomb) > 4096 {
+		t.Fatalf("bomb unexpectedly large: %d bytes", len(bomb))
+	}
+	_, err := Read(bytes.NewReader(bomb))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("gzip bomb: want wrapped ErrTooLarge, got %v", err)
+	}
+
+	// The node-count cap also still applies through decompression.
+	huge := gzipBytes(t, []byte("0 999999999\n"))
+	if _, err := Read(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("gzip oversized endpoint: want wrapped ErrTooLarge, got %v", err)
+	}
+}
+
+// TestReadEdgeCapPlainText: the MaxEdges cap is format-independent.
+func TestReadEdgeCapPlainText(t *testing.T) {
+	defer func(old int) { MaxEdges = old }(MaxEdges)
+	MaxEdges = 4
+	var sb strings.Builder
+	sb.WriteString("n 10\n")
+	for i := 0; i < 9; i++ {
+		sb.WriteString("0 ")
+		sb.WriteByte(byte('1' + i))
+		sb.WriteByte('\n')
+	}
+	if _, err := Read(strings.NewReader(sb.String())); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want wrapped ErrTooLarge, got %v", err)
+	}
+}
+
+func TestReadCorruptGzipErrors(t *testing.T) {
+	data := gzipBytes(t, []byte("n 4\n0 1\n"))
+	data[len(data)-2] ^= 0xFF // corrupt the CRC trailer
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt gzip stream accepted")
+	}
+}
+
+// TestReadAnySniffsAllFormats: snapshot, gzip, and plain text all parse
+// through the one entry point.
+func TestReadAnySniffsAllFormats(t *testing.T) {
+	g := gen.SparseErdosRenyi(150, 0.05, 4)
+	var text, snap bytes.Buffer
+	if err := Write(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&snap, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"text": text.Bytes(),
+		"gzip": gzipBytes(t, text.Bytes()),
+		"snap": snap.Bytes(),
+	} {
+		got, err := ReadAny(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadAny(%s): %v", name, err)
+		}
+		sameGraph(t, g, got)
+	}
+}

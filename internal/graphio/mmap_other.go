@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graphio
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap routes OpenSnapshot to the buffered-read fallback on platforms
+// without a memory-mapping syscall surface (e.g. js/wasm, plan9).
+var errNoMmap = errors.New("graphio: mmap unsupported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

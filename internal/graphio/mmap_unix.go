@@ -1,0 +1,24 @@
+//go:build unix
+
+package graphio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned release function
+// must be called exactly once when the mapping is no longer referenced.
+// Errors (including size == 0, which mmap rejects) send the caller down
+// the buffered-read fallback path.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("graphio: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

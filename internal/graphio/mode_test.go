@@ -1,0 +1,25 @@
+package graphio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nearclique/internal/gen"
+)
+
+// TestWriteSnapshotFileMode: the atomic temp-file path must not leak
+// CreateTemp's 0600 mode into the published snapshot.
+func TestWriteSnapshotFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.ncsr")
+	if err := WriteSnapshotFile(path, gen.SparseErdosRenyi(50, 0.1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Fatalf("snapshot mode %v, want 0644", st.Mode().Perm())
+	}
+}

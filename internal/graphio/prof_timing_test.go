@@ -1,0 +1,62 @@
+package graphio
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nearclique/internal/expt"
+	"nearclique/internal/graph"
+)
+
+// TestProfileOpenStages prints per-stage timings of the snapshot open path
+// at n=1e6 (mmap, header, checksum, cast, FromArena). Skipped unless PROF=1;
+// it exists to keep the open-path budget measurable as the format evolves.
+func TestProfileOpenStages(t *testing.T) {
+	if os.Getenv("PROF") == "" {
+		t.Skip("set PROF=1")
+	}
+	g := expt.ScaleInstance(expt.ScalePoint{N: 1_000_000, Size: 2000, AvgDeg: 10}, 1).Graph
+	path := filepath.Join(t.TempDir(), "g.ncsr")
+	if err := WriteSnapshotFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(path)
+	st, _ := f.Stat()
+	start := time.Now()
+	data, unmap, err := mmapFile(f, st.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("mmap:", time.Since(start))
+
+	start = time.Now()
+	h, err := parseSnapHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("header:", time.Since(start))
+
+	offBytes := data[h.offsetsOff : h.offsetsOff+h.offsetsLen]
+	tgtBytes := data[h.targetsOff : h.targetsOff+h.targetsLen]
+	start = time.Now()
+	crc := crc32.Update(0, snapCRCTable, offBytes)
+	crc = crc32.Update(crc, snapCRCTable, tgtBytes)
+	fmt.Println("crc:", time.Since(start), uint64(crc) == h.crc)
+
+	start = time.Now()
+	offs := bytesInt64(offBytes)
+	tgts := bytesInt32(tgtBytes)
+	fmt.Println("cast:", time.Since(start))
+
+	start = time.Now()
+	if _, err := graph.FromArena(offs, tgts); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("FromArena:", time.Since(start))
+	unmap()
+	f.Close()
+}

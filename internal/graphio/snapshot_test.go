@@ -1,0 +1,246 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+func snapBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for v := 0; v < a.N(); v++ {
+		x, y := a.Neighbors(v), b.Neighbors(v)
+		if len(x) != len(y) {
+			t.Fatalf("degree of %d changed", v)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("adjacency of %d changed", v)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripStream(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Empty(0),
+		gen.Empty(9),
+		gen.Complete(12),
+		gen.SparseErdosRenyi(500, 0.02, 7),
+		gen.ErdosRenyi(80, 0.3, 1), // dense-built: sidecar present, arena identical
+	} {
+		data := snapBytes(t, g)
+		g2, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadSnapshot(n=%d): %v", g.N(), err)
+		}
+		sameGraph(t, g, g2)
+	}
+}
+
+// TestSnapshotBytesCanonical: the same graph serializes to the same bytes,
+// regardless of which builder produced it — the format mirrors the arena,
+// and the arena is canonical.
+func TestSnapshotBytesCanonical(t *testing.T) {
+	edges := [][2]int{{0, 3}, {1, 2}, {2, 3}, {0, 1}, {1, 3}}
+	a := graph.FromEdges(5, edges)    // dense path
+	b := graph.FromEdgeList(5, edges) // sparse path
+	ba, bb := snapBytes(t, a), snapBytes(t, b)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("dense- and sparse-built snapshots differ")
+	}
+	// Re-serializing a decoded snapshot is byte-identical.
+	g2, err := ReadSnapshot(bytes.NewReader(ba))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapBytes(t, g2), ba) {
+		t.Fatal("snapshot re-serialization not byte-identical")
+	}
+}
+
+func TestOpenSnapshotMmap(t *testing.T) {
+	g := gen.SparseErdosRenyi(2000, 0.005, 3)
+	path := filepath.Join(t.TempDir(), "g.ncsr")
+	if err := WriteSnapshotFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, snap.Graph())
+	// The snapshot graph is fully usable: CSR, HasEdge, components.
+	if snap.Graph().CSR().NumEdges() != 2*g.M() {
+		t.Fatal("CSR over mapped arena wrong")
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDispatch(t *testing.T) {
+	g := gen.SparseErdosRenyi(300, 0.03, 5)
+	dir := t.TempDir()
+
+	snapPath := filepath.Join(dir, "g.ncsr")
+	if err := WriteSnapshotFile(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+	textPath := filepath.Join(dir, "g.txt")
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(textPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{snapPath, textPath} {
+		got, closeFn, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		sameGraph(t, g, got)
+		if err := closeFn(); err != nil {
+			t.Fatalf("close %s: %v", path, err)
+		}
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+// TestSnapshotDecodeRejectsCorruption drives the decoder through every
+// rejection path with surgical corruptions of a valid file; all must
+// error (never panic), and size-cap violations must wrap ErrTooLarge.
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	g := gen.SparseErdosRenyi(64, 0.1, 2)
+	valid := snapBytes(t, g)
+
+	put64 := func(data []byte, off int, v uint64) []byte {
+		out := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(out[off:], v)
+		return out
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"short header":      valid[:40],
+		"bad magic":         append([]byte("XXXX"), valid[4:]...),
+		"bad version":       append(append([]byte(nil), valid[:4]...), append([]byte{9, 0}, valid[6:]...)...),
+		"bad endian mark":   append(append([]byte(nil), valid[:6]...), append([]byte{0, 0}, valid[8:]...)...),
+		"truncated payload": valid[:len(valid)-3],
+		"trailing garbage":  append(append([]byte(nil), valid...), 0xFF),
+		"flipped target":    flipByte(valid, len(valid)-1),
+		"flipped offset":    flipByte(valid, snapHeaderSize+8),
+		"flipped checksum":  flipByte(valid, 56),
+		"offsets in header": put64(valid, 24, 8),
+		"sections overlap":  put64(valid, 40, 64),
+		"misaligned off":    put64(valid, 24, 65),
+		"huge node count":   put64(valid, 8, 1<<40),
+		"huge edge count":   put64(valid, 16, 1<<40),
+		// Hostile offsets that must not drive slicing or allocation: an
+		// offsetsOff whose section arithmetic wraps uint64, and a targets
+		// section placed astronomically past the file end.
+		"wrapping offsetsOff": put64(valid, 24, 0xFFFFFFFFFFFFFFF8),
+		"huge targetsOff":     put64(valid, 40, 1<<62),
+		"section gap":         put64(put64(valid, 24, 72), 40, binary.LittleEndian.Uint64(valid[40:])+8),
+	}
+	for name, data := range cases {
+		g, err := decodeSnapshot(data)
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupted snapshot (n=%d)", name, g.N())
+			continue
+		}
+		if name == "huge node count" || name == "huge edge count" {
+			if !errors.Is(err, ErrTooLarge) {
+				t.Errorf("%s: want ErrTooLarge, got %v", name, err)
+			}
+		} else if !errors.Is(err, ErrSnapshot) {
+			t.Errorf("%s: want ErrSnapshot, got %v", name, err)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0x5A
+	return out
+}
+
+// TestSnapshotAsymmetricArenaRejected: a checksum-valid file whose arena
+// violates graph invariants (here: a directed edge without its reverse)
+// must still be rejected — structural validation runs after the checksum.
+func TestSnapshotAsymmetricArenaRejected(t *testing.T) {
+	data := buildRawSnapshot([]int64{0, 1, 1}, []int32{1})
+	if _, err := decodeSnapshot(data); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("asymmetric arena: want ErrSnapshot, got %v", err)
+	}
+	// Self-loop.
+	data = buildRawSnapshot([]int64{0, 1, 2}, []int32{0, 0})
+	if _, err := decodeSnapshot(data); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("self-loop arena: want ErrSnapshot, got %v", err)
+	}
+}
+
+// buildRawSnapshot assembles a wire-format snapshot around an arbitrary
+// (possibly invalid) arena, with a correct checksum — for testing the
+// structural validation layer in isolation.
+func buildRawSnapshot(offsets []int64, targets []int32) []byte {
+	var buf bytes.Buffer
+	_ = writeRawSnapshot(&buf, offsets, targets)
+	return buf.Bytes()
+}
+
+// TestReadSnapshotHostileHeaderNoAllocation: a 64-byte stream whose
+// header declares absurd section offsets must error at header validation,
+// before ReadSnapshot sizes its payload buffer — never a makeslice panic
+// or a multi-gigabyte allocation.
+func TestReadSnapshotHostileHeaderNoAllocation(t *testing.T) {
+	valid := snapBytes(t, gen.Empty(1))
+	hdr := append([]byte(nil), valid[:snapHeaderSize]...)
+	binary.LittleEndian.PutUint64(hdr[40:48], 1<<62) // targetsOff far beyond any real file
+	if _, err := ReadSnapshot(bytes.NewReader(hdr)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("hostile header: want ErrSnapshot, got %v", err)
+	}
+	binary.LittleEndian.PutUint64(hdr[24:32], 0xFFFFFFFFFFFFFFF8) // wrapping offsetsOff
+	if _, err := ReadSnapshot(bytes.NewReader(hdr)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("wrapping header: want ErrSnapshot, got %v", err)
+	}
+}
+
+// TestSnapshotNodeCapRespectsOverride: the MaxNodes cap applies to
+// snapshots exactly as it does to edge lists.
+func TestSnapshotNodeCapRespectsOverride(t *testing.T) {
+	defer func(old int) { MaxNodes = old }(MaxNodes)
+	MaxNodes = 32
+	data := snapBytes(t, gen.Empty(100))
+	if _, err := decodeSnapshot(data); !errors.Is(err, ErrTooLarge) {
+		t.Fatal("snapshot beyond MaxNodes accepted")
+	}
+	MaxNodes = 100
+	if _, err := decodeSnapshot(data); err != nil {
+		t.Fatalf("snapshot within raised cap rejected: %v", err)
+	}
+}

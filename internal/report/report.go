@@ -46,19 +46,42 @@ type Run struct {
 }
 
 // Measurement is the cmd/bench record: one timed workload on one engine,
-// with the derived rates cmd/bench historically reported.
+// with the derived rates cmd/bench historically reported. HeapBytes is
+// the runtime.ReadMemStats heap growth across the measured run (GC'd
+// immediately before), so regressions in working-set size show up next to
+// the wall-time ones.
 type Measurement struct {
 	Workload string `json:"workload"`
 	Engine   string `json:"engine"`
 	N        int    `json:"n"`
 	M        int    `json:"m"`
 	Cost
+	HeapBytes     uint64  `json:"heap_bytes"`
 	RoundsPerSec  float64 `json:"rounds_per_sec"`
 	MBytesPerSec  float64 `json:"payload_mb_per_sec"`
 	Allocs        uint64  `json:"allocs"`
 	AllocsPerRnd  float64 `json:"allocs_per_round"`
 	RecoveredPct  float64 `json:"recovered_pct,omitempty"`
 	SpeedupLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+}
+
+// LoadMeasurement is the cmd/bench -load record (BENCH_graph.json): one
+// graph-load measurement of one on-disk format, comparing the text
+// edge-list parse path against the `.ncsr` snapshot-mmap path at equal
+// graph shape. HeapBytes and Allocs come from runtime.ReadMemStats around
+// the load; SpeedupVsText is wall-time relative to the "text" record of
+// the same workload.
+type LoadMeasurement struct {
+	Workload      string  `json:"workload"`
+	Format        string  `json:"format"` // "text" | "snap"
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	FileBytes     int64   `json:"file_bytes"`
+	WallNS        int64   `json:"wall_ns"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+	Allocs        uint64  `json:"allocs"`
+	MBPerSec      float64 `json:"file_mb_per_sec"`
+	SpeedupVsText float64 `json:"speedup_vs_text,omitempty"`
 }
 
 // FromResult assembles a Run from a solve outcome. res may carry partial

@@ -102,13 +102,49 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // Deprecated: use Build, which selects the representation automatically.
 func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
 
-// ReadGraph parses the plain-text edge-list format (see cmd/gengraph).
-// Inputs beyond the graphio node-count cap fail with an error wrapping
-// ErrInputTooLarge.
-func ReadGraph(r io.Reader) (*Graph, error) { return graphio.Read(r) }
+// ReadGraph parses a graph from any supported interchange format,
+// detected from the stream's leading bytes: a plain-text edge list (see
+// cmd/gengraph), a gzip-compressed edge list, or a `.ncsr` binary
+// snapshot. Inputs beyond the graphio size caps fail with an error
+// wrapping ErrInputTooLarge. When a file path (rather than a stream) is
+// available, prefer LoadGraph, which memory-maps snapshots instead of
+// buffering them.
+func ReadGraph(r io.Reader) (*Graph, error) { return graphio.ReadAny(r) }
 
-// WriteGraph emits a graph in the format ReadGraph accepts.
+// WriteGraph emits a graph in the plain-text edge-list format.
 func WriteGraph(w io.Writer, g *Graph) error { return graphio.Write(w, g) }
+
+// WriteSnapshot serializes g in the versioned `.ncsr` zero-copy binary
+// snapshot format: the graph's canonical CSR arena plus a checksummed
+// header, so OpenSnapshot can map the file and solve over it directly.
+// The output is canonical — the same graph always yields the same bytes.
+// See DESIGN.md §8 for the byte-level layout.
+func WriteSnapshot(w io.Writer, g *Graph) error { return graphio.WriteSnapshot(w, g) }
+
+// Snapshot is an open `.ncsr` snapshot: a ready-to-solve Graph whose
+// adjacency arena aliases the memory-mapped file. One Snapshot may back
+// any number of concurrent Solve/SolveBatch runs; the graph must not be
+// used after Close.
+type Snapshot = graphio.Snapshot
+
+// OpenSnapshot maps the `.ncsr` file at path and wraps it as a
+// ready-to-solve Graph in milliseconds, with no text parsing and no
+// per-node allocation. The cost is one sequential checksum + invariant
+// validation pass over the mapped bytes. Platforms without mmap fall back
+// to a buffered read with identical semantics.
+func OpenSnapshot(path string) (*Snapshot, error) { return graphio.OpenSnapshot(path) }
+
+// LoadGraph opens the graph file at path, auto-detecting the format:
+// `.ncsr` snapshots are memory-mapped (O(ms) for million-node graphs),
+// plain or gzip-compressed edge lists are parsed. The returned close
+// function releases any mapping and must be called once the graph is no
+// longer in use (it is a no-op for parsed graphs).
+func LoadGraph(path string) (*Graph, func() error, error) { return graphio.Load(path) }
+
+// ErrBadSnapshot is wrapped by every snapshot decode failure — truncated
+// or corrupt headers, checksum mismatches, structurally invalid arenas —
+// as opposed to size-cap violations, which wrap ErrInputTooLarge.
+var ErrBadSnapshot = graphio.ErrSnapshot
 
 // Options configures a run of Algorithm DistNearClique; see the field
 // documentation in the core package (re-exported verbatim). It is the
