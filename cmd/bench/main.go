@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"nearclique/internal/buildinfo"
 	"nearclique/internal/congest"
 	"nearclique/internal/core"
 	"nearclique/internal/expt"
@@ -68,14 +69,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick = fs.Bool("quick", false, "small grid for CI")
-		out   = fs.String("o", "", "write the JSON report to this file (default stdout)")
-		seed  = fs.Int64("seed", 1, "base seed")
-		load  = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
-		input = fs.String("input", "", "with -load: measure this graph file (auto-detected format) instead of the synthetic grid")
+		quick   = fs.Bool("quick", false, "small grid for CI")
+		out     = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		seed    = fs.Int64("seed", 1, "base seed")
+		load    = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
+		input   = fs.String("input", "", "with -load: measure this graph file (auto-detected format) instead of the synthetic grid")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("bench"))
+		return 0
 	}
 	var payload interface{}
 	if *load {
@@ -209,6 +215,9 @@ func measure(name string, engine congest.Engine, g *graph.Graph, fn func() *cong
 	if best.Rounds > 0 {
 		best.AllocsPerRnd = round2(float64(best.Allocs) / float64(best.Rounds))
 	}
+	// Content digest outside the timed region: results stay attributable
+	// to an exact input without perturbing the measurement.
+	best.GraphDigest = g.Digest()
 	return best
 }
 
@@ -285,6 +294,7 @@ func measureFind(name string, engine congest.Engine, g *graph.Graph, fn func() *
 	if best.Rounds > 0 {
 		best.AllocsPerRnd = round2(float64(best.Allocs) / float64(best.Rounds))
 	}
+	best.GraphDigest = g.Digest()
 	return best
 }
 
@@ -387,6 +397,11 @@ func measureLoad(name, format, path string) (report.LoadMeasurement, error) {
 			best.HeapBytes = heapGrowth(&ms0, &ms1)
 			best.Allocs = ms1.Mallocs - ms0.Mallocs
 		}
+		// Digest before closeGraph unmaps snapshot-backed arenas; the
+		// measurement window (ms1/wall) has already closed. Text and
+		// snapshot rows of one workload share the digest — the load
+		// paths provably produced the same graph.
+		best.GraphDigest = g.Digest()
 		if err := closeGraph(); err != nil {
 			return best, err
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -113,5 +114,15 @@ func TestBenchLoadQuickEmitsValidJSON(t *testing.T) {
 		if ns == 0 {
 			t.Fatalf("%s: missing text record", wl)
 		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "bench") {
+		t.Fatalf("version output %q", out.String())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"nearclique/internal/buildinfo"
 	"nearclique/internal/expt"
 )
 
@@ -36,9 +37,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick   = fs.Bool("quick", false, "reduced grids for a fast pass")
 		out     = fs.String("o", "", "also write the markdown report to this file")
 		timeout = fs.Duration("timeout", 0, "stop (between experiments) once this much time has passed; the partial report is still written")
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("experiments"))
+		return 0
 	}
 	exps, err := expt.ByID(*sel)
 	if err != nil {

@@ -41,3 +41,13 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "experiments") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

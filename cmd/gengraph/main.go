@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"nearclique"
+	"nearclique/internal/buildinfo"
 )
 
 func main() {
@@ -30,19 +31,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		family = fs.String("family", "er",
 			"er | planted | clique | shingles | twocliques | geometric | web | complete | empty | path | cycle | star")
-		n      = fs.Int("n", 100, "node count")
-		p      = fs.Float64("p", 0.1, "edge probability (er) / background (planted)")
-		size   = fs.Int("size", 30, "planted set size (planted, clique)")
-		epsIn  = fs.Float64("epsin", 0, "planted near-clique parameter (planted)")
-		delta  = fs.Float64("delta", 0.5, "clique fraction (shingles)")
-		radius = fs.Float64("radius", 0.15, "connection radius (geometric)")
-		m      = fs.Int("m", 3, "attachment edges per node (web)")
-		withA  = fs.Bool("witha", true, "keep A's edges (twocliques)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		format = fs.String("format", "edges", `output format: "edges" (plain text) or "snap" (.ncsr binary snapshot)`)
+		n       = fs.Int("n", 100, "node count")
+		p       = fs.Float64("p", 0.1, "edge probability (er) / background (planted)")
+		size    = fs.Int("size", 30, "planted set size (planted, clique)")
+		epsIn   = fs.Float64("epsin", 0, "planted near-clique parameter (planted)")
+		delta   = fs.Float64("delta", 0.5, "clique fraction (shingles)")
+		radius  = fs.Float64("radius", 0.15, "connection radius (geometric)")
+		m       = fs.Int("m", 3, "attachment edges per node (web)")
+		withA   = fs.Bool("witha", true, "keep A's edges (twocliques)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		format  = fs.String("format", "edges", `output format: "edges" (plain text) or "snap" (.ncsr binary snapshot)`)
+		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("gengraph"))
+		return 0
 	}
 
 	// Resolve the output format before generating: a typo'd -format must

@@ -80,3 +80,13 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("same seed produced different graphs")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "gengraph") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

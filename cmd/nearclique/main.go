@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nearclique"
+	"nearclique/internal/buildinfo"
 	"nearclique/internal/report"
 )
 
@@ -55,9 +56,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
 		jsonOut  = fs.Bool("json", false, "emit the machine-readable result schema shared with cmd/bench")
 		quiet    = fs.Bool("q", false, "print only the summary line")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("nearclique"))
+		return 0
 	}
 
 	engine, errc := resolveEngine(*engineFl, *mode, *async)

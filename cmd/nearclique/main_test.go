@@ -194,3 +194,13 @@ func TestRunAutoDetectsInputFormats(t *testing.T) {
 		t.Fatal("snapshot on stdin: output differs")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "nearclique") {
+		t.Fatalf("version output %q", out.String())
+	}
+}

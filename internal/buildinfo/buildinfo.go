@@ -1,0 +1,50 @@
+// Package buildinfo derives a human-readable version string for the cmd/
+// binaries from the build metadata the Go toolchain embeds
+// (runtime/debug.ReadBuildInfo): the module version when built from a
+// tagged module, otherwise the VCS revision and dirty marker stamped by
+// `go build`. Every binary exposes it behind a -version flag.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String returns the version line for this binary, e.g.
+//
+//	nearcliqued (devel) rev 95a5bf5d dirty go1.24.0
+//
+// tool is the binary name to prefix. The pieces degrade gracefully: a
+// binary built outside a module or without VCS metadata still reports
+// its Go version.
+func String(tool string) string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return tool + " (unknown build)"
+	}
+	out := tool
+	if v := bi.Main.Version; v != "" {
+		out += " " + v
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = " dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += fmt.Sprintf(" rev %s%s", rev, modified)
+	}
+	if bi.GoVersion != "" {
+		out += " " + bi.GoVersion
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringPrefixesToolAndNeverEmpty(t *testing.T) {
+	s := String("nearcliqued")
+	if !strings.HasPrefix(s, "nearcliqued") {
+		t.Fatalf("version %q does not lead with the tool name", s)
+	}
+	// Under `go test` the build info is present and carries the Go
+	// version; the exact module/VCS pieces depend on how the tree was
+	// built, so only the stable parts are pinned.
+	if len(s) <= len("nearcliqued") {
+		t.Fatalf("version %q carries no build metadata at all", s)
+	}
+}

@@ -43,6 +43,8 @@ type Graph struct {
 	rowsOnce sync.Once
 	csrOnce  sync.Once
 	csr      *CSR
+
+	digest digestState // lazy content digest; see Digest
 }
 
 // N returns the number of nodes.

@@ -30,13 +30,21 @@ type Candidate struct {
 	Members []int   `json:"members,omitempty"`
 }
 
-// Run is the cmd/nearclique -json record: one solve over one graph.
+// Run is the record one solve over one graph emits: cmd/nearclique -json
+// prints it and cmd/nearcliqued serves it from /v1/solve and /v1/batch.
 // Error carries the failure while the rest of the record still reports
 // whatever partial costs accumulated (e.g. a canceled run's rounds).
+// GraphDigest is the stable content digest of the input
+// (graph.Graph.Digest — the `.ncsr` snapshot checksum), so every result
+// is attributable to an exact input. The record deliberately carries no
+// cache marker: the daemon's result cache returns byte-identical bodies
+// on hit and miss, and signals hits out-of-band (the X-Nearclique-Cache
+// header and the ServerStats/GraphStats counters below).
 type Run struct {
-	Engine string `json:"engine"`
-	N      int    `json:"n"`
-	M      int    `json:"m"`
+	Engine      string `json:"engine"`
+	GraphDigest string `json:"graph_digest,omitempty"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
 	Cost
 	MaxFrameBits int         `json:"max_frame_bits,omitempty"`
 	SampleSizes  []int       `json:"sample_sizes,omitempty"`
@@ -51,10 +59,11 @@ type Run struct {
 // immediately before), so regressions in working-set size show up next to
 // the wall-time ones.
 type Measurement struct {
-	Workload string `json:"workload"`
-	Engine   string `json:"engine"`
-	N        int    `json:"n"`
-	M        int    `json:"m"`
+	Workload    string `json:"workload"`
+	Engine      string `json:"engine"`
+	GraphDigest string `json:"graph_digest,omitempty"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
 	Cost
 	HeapBytes     uint64  `json:"heap_bytes"`
 	RoundsPerSec  float64 `json:"rounds_per_sec"`
@@ -74,6 +83,7 @@ type Measurement struct {
 type LoadMeasurement struct {
 	Workload      string  `json:"workload"`
 	Format        string  `json:"format"` // "text" | "snap"
+	GraphDigest   string  `json:"graph_digest,omitempty"`
 	N             int     `json:"n"`
 	M             int     `json:"m"`
 	FileBytes     int64   `json:"file_bytes"`
@@ -88,7 +98,7 @@ type LoadMeasurement struct {
 // metrics when err is non-nil (abort and cancellation paths); a nil res
 // yields a record with only the graph shape, the wall time, and the error.
 func FromResult(engine string, g *graph.Graph, res *core.Result, wall time.Duration, err error) Run {
-	r := Run{Engine: engine, N: g.N(), M: g.M()}
+	r := Run{Engine: engine, GraphDigest: g.Digest(), N: g.N(), M: g.M()}
 	r.WallNS = wall.Nanoseconds()
 	if err != nil {
 		r.Error = err.Error()
@@ -113,4 +123,50 @@ func FromResult(engine string, g *graph.Graph, res *core.Result, wall time.Durat
 		})
 	}
 	return r
+}
+
+// --- Serving-side records (cmd/nearcliqued) -----------------------------
+
+// ServerStats is the cmd/nearcliqued /statz record: a point-in-time view
+// of the daemon's queue, cache, and per-graph serving counters. Like the
+// rest of this package it is the stable machine-readable schema —
+// monitoring scrapes parse it, so fields are only ever added.
+type ServerStats struct {
+	UptimeSec     float64      `json:"uptime_sec"`
+	Version       string       `json:"version,omitempty"`
+	GoVersion     string       `json:"go_version"`
+	Draining      bool         `json:"draining"`
+	Concurrency   int          `json:"concurrency"`
+	QueueDepth    int          `json:"queue_depth"`    // jobs waiting, excluding running
+	QueueCapacity int          `json:"queue_capacity"` // waiting-slot budget (429 beyond it)
+	InFlight      int          `json:"in_flight"`      // jobs running right now
+	Accepted      int64        `json:"accepted"`       // jobs admitted since start
+	Rejected      int64        `json:"rejected_429"`   // jobs refused queue-full
+	Cache         CacheStats   `json:"cache"`
+	Graphs        []GraphStats `json:"graphs"`
+}
+
+// CacheStats describes the daemon's deterministic result cache.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// GraphStats describes one registered graph: identity (name, shape,
+// content digest) plus its serving counters. GET /v1/graphs returns the
+// same records, so listing and monitoring share one schema.
+type GraphStats struct {
+	Name         string `json:"name"`
+	Path         string `json:"path,omitempty"`
+	GraphDigest  string `json:"graph_digest"`
+	N            int    `json:"n"`
+	M            int    `json:"m"`
+	LoadedAtUnix int64  `json:"loaded_at_unix"`
+	Solves       int64  `json:"solves"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"nearclique/internal/report"
+)
+
+// resultCache is the deterministic result cache: an LRU over marshaled
+// /v1/solve response bodies with a byte-size budget. It is correct to
+// serve results from it because the whole stack is deterministic —
+// identical (graph content digest, canonical solver parameters) yield
+// bit-identical transcripts on every engine (the determinism suites pin
+// this) — so a hit returns JSON byte-identical to the miss that populated
+// it. The one nondeterministic field, wall_ns, is frozen at the first
+// (miss) response by construction: the cache stores the exact bytes that
+// response sent. Only successful runs are cached; errors, partial results
+// and canceled runs always re-execute.
+//
+// cachedBodyOverhead approximates the per-entry bookkeeping (key string,
+// map bucket, list element) charged against the budget alongside the
+// body, so a flood of tiny entries cannot blow past the budget through
+// overhead alone.
+const cachedBodyOverhead = 160
+
+type resultCache struct {
+	mu        sync.Mutex
+	budget    int64 // bytes; <= 0 disables the cache entirely
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+// The returned slice is shared and must be treated as immutable. A
+// failed lookup is NOT counted as a miss here: requests shed by
+// admission control never execute, and the stats contract is
+// misses == executed solves — callers call recordMiss once a solve
+// actually runs.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.budget <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// recordMiss counts one executed-solve cache miss (see get).
+func (c *resultCache) recordMiss() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// enabled reports whether the cache is on at all. With caching disabled
+// no hit/miss accounting happens anywhere — callers must gate their
+// per-graph counters on this too, so the global and per-graph views of
+// the same traffic can never disagree.
+func (c *resultCache) enabled() bool { return c.budget > 0 }
+
+// put stores body under key unless the key is already present (the first
+// response stays canonical: concurrent duplicate misses do not rotate
+// the stored bytes) or the body alone exceeds the whole budget. Evicts
+// least-recently-used entries until the budget holds.
+func (c *resultCache) put(key string, body []byte) {
+	size := int64(len(body)) + int64(len(key)) + cachedBodyOverhead
+	if c.budget <= 0 || size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.used += size
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.body)) + int64(len(ent.key)) + cachedBodyOverhead
+		c.evictions++
+	}
+}
+
+func (c *resultCache) stats() report.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return report.CacheStats{
+		Entries:     c.ll.Len(),
+		Bytes:       c.used,
+		BudgetBytes: c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func entrySize(key string, body []byte) int64 {
+	return int64(len(body)) + int64(len(key)) + cachedBodyOverhead
+}
+
+func TestResultCacheLRUEvictionByBytes(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 100)
+	budget := 2 * entrySize("k0", body) // room for exactly two entries
+	c := newResultCache(budget)
+
+	c.put("k0", body)
+	c.put("k1", body)
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 evicted prematurely")
+	}
+	// k0 is now most recent; inserting k2 must evict k1.
+	c.put("k2", body)
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived past the byte budget")
+	}
+	for _, k := range []string{"k0", "k2"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing after eviction pass", k)
+		}
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes != budget {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Lookups alone never count misses (shed requests must not skew the
+	// ratio); only an executed solve records one.
+	if st.Hits != 3 || st.Misses != 0 {
+		t.Fatalf("hit/miss accounting: %+v", st)
+	}
+	c.recordMiss()
+	if st := c.stats(); st.Misses != 1 {
+		t.Fatalf("recordMiss not counted: %+v", st)
+	}
+}
+
+func TestResultCacheFirstBodyStaysCanonical(t *testing.T) {
+	c := newResultCache(1 << 20)
+	c.put("k", []byte("first"))
+	c.put("k", []byte("second")) // concurrent-duplicate miss: ignored
+	got, ok := c.get("k")
+	if !ok || string(got) != "first" {
+		t.Fatalf("got %q, want the first stored body", got)
+	}
+}
+
+func TestResultCacheRejectsOversizedAndDisabled(t *testing.T) {
+	c := newResultCache(64)
+	c.put("k", bytes.Repeat([]byte("x"), 1000))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("an over-budget body was cached")
+	}
+
+	off := newResultCache(-1)
+	off.put("k", []byte("v"))
+	if _, ok := off.get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	off.recordMiss()
+	if st := off.stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st)
+	}
+}
+
+func TestResultCacheManyEntriesStayWithinBudget(t *testing.T) {
+	c := newResultCache(10_000)
+	for i := 0; i < 500; i++ {
+		c.put(fmt.Sprintf("key-%03d", i), bytes.Repeat([]byte("b"), 50))
+	}
+	st := c.stats()
+	if st.Bytes > 10_000 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+	if st.Entries == 0 || st.Evictions == 0 {
+		t.Fatalf("expected a full, churning cache: %+v", st)
+	}
+}

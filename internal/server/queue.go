@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// errQueueFull means the bounded wait queue is at capacity; the
+	// handler maps it to 429 so load sheds at admission, before any
+	// solver work, keeping the 1-CPU hot path unoversubscribed.
+	errQueueFull = errors.New("server: job queue full")
+	// errDraining means the server stopped admitting work (SIGTERM);
+	// mapped to 503 so load balancers fail the instance out while
+	// already-admitted jobs finish.
+	errDraining = errors.New("server: draining, not accepting new work")
+)
+
+// admitter is the admission controller: a fixed worker pool consuming a
+// bounded job channel. Capacity semantics: at most `concurrency` jobs run
+// at once and at most `depth` more wait; a submit beyond that fails
+// immediately with errQueueFull. Drain stops intake, lets every queued
+// and running job finish, then returns — the graceful-shutdown half of
+// the contract.
+type admitter struct {
+	mu       sync.RWMutex // guards draining vs. close(jobs)
+	jobs     chan func()
+	draining bool
+	wg       sync.WaitGroup
+
+	depth    int
+	workers  int
+	inFlight atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmitter(concurrency, depth int) *admitter {
+	if depth < 0 {
+		depth = 0 // explicit no-queue mode: shed whenever workers are busy
+	}
+	a := &admitter{
+		jobs:    make(chan func(), depth),
+		depth:   depth,
+		workers: concurrency,
+	}
+	for i := 0; i < concurrency; i++ {
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			for fn := range a.jobs {
+				a.inFlight.Add(1)
+				runJob(fn)
+				a.inFlight.Add(-1)
+			}
+		}()
+	}
+	return a
+}
+
+// runJob is the pool's last-resort panic barrier: jobs produce their own
+// error responses on panic (see safeSolve), but if one ever escapes, a
+// single poisoned request must cost its request, not the worker — a dead
+// worker would silently shrink the pool for the daemon's lifetime.
+func runJob(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// submit enqueues fn for execution on a worker, without blocking: a full
+// queue returns errQueueFull, a draining admitter errDraining. The read
+// lock makes the draining check and the send atomic with respect to
+// drain's close(jobs), so a submit can never race the channel close.
+func (a *admitter) submit(fn func()) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.draining {
+		return errDraining
+	}
+	select {
+	case a.jobs <- fn:
+		a.accepted.Add(1)
+		return nil
+	default:
+		a.rejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// stopIntake flips the admitter into draining mode and closes the job
+// channel; queued jobs keep running. Idempotent.
+func (a *admitter) stopIntake() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining {
+		a.draining = true
+		close(a.jobs)
+	}
+}
+
+// drain stops intake and blocks until every queued and in-flight job has
+// finished and the workers have exited.
+func (a *admitter) drain() {
+	a.stopIntake()
+	a.wg.Wait()
+}
+
+// queued reports the jobs waiting in the channel (excluding running ones).
+func (a *admitter) queued() int { return len(a.jobs) }

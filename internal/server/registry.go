@@ -1,0 +1,215 @@
+// Package server implements the nearcliqued serving subsystem
+// (DESIGN.md §9): a snapshot registry of named graphs opened zero-copy
+// from `.ncsr` files, a deterministic byte-budgeted result cache keyed by
+// (graph content digest, canonical solver parameters), and admission
+// control — a bounded job queue with 429 backpressure and graceful drain
+// — guarding the solve hot path. cmd/nearcliqued wires it to an
+// http.Server and the process lifecycle.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nearclique/internal/graph"
+	"nearclique/internal/graphio"
+	"nearclique/internal/report"
+)
+
+var (
+	// ErrGraphExists is returned by Load when the name is taken.
+	ErrGraphExists = errors.New("server: graph name already registered")
+	// ErrGraphNotFound is returned when no graph is registered under the
+	// requested name.
+	ErrGraphNotFound = errors.New("server: graph not registered")
+)
+
+// nameRE bounds registry names: path-safe, header-safe, cache-key-safe.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// entry is one registered graph. The graph (and, for `.ncsr` inputs, the
+// memory mapping backing its arena) is shared by every request that
+// acquires the entry; close runs only after the entry has been unloaded
+// AND the last acquirer has released it, so an in-flight solve can never
+// observe an unmapped arena.
+type entry struct {
+	name     string
+	path     string
+	g        *graph.Graph
+	close    func() error
+	digest   string
+	loadedAt time.Time
+
+	// Serving counters, reported by /statz and GET /v1/graphs.
+	solves atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	mu      sync.Mutex
+	refs    int
+	removed bool
+}
+
+// release drops one reference; the entry's resources are torn down when
+// the entry was unloaded and this was the last reference.
+func (e *entry) release() error {
+	e.mu.Lock()
+	e.refs--
+	drop := e.removed && e.refs == 0
+	e.mu.Unlock()
+	if drop {
+		return e.close()
+	}
+	return nil
+}
+
+// stats snapshots the entry for /statz and the listing endpoint.
+func (e *entry) stats() report.GraphStats {
+	return report.GraphStats{
+		Name:         e.name,
+		Path:         e.path,
+		GraphDigest:  e.digest,
+		N:            e.g.N(),
+		M:            e.g.M(),
+		LoadedAtUnix: e.loadedAt.Unix(),
+		Solves:       e.solves.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+	}
+}
+
+// registry maps names to open graphs. Loading is the only expensive
+// operation (snapshot open is O(checksum); text parse is O(file)), so one
+// mutex over the map suffices: acquire/release on the hot path touch it
+// only long enough to bump a refcount.
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]*entry)}
+}
+
+// load opens the graph file at path — `.ncsr` snapshots are memory-mapped
+// zero-copy, plain or gzip-compressed edge lists are parsed — and
+// registers it under name. The open happens outside the registry lock so
+// a slow load never blocks serving traffic on other graphs.
+func (r *registry) load(name, path string) (report.GraphStats, error) {
+	if !nameRE.MatchString(name) {
+		return report.GraphStats{}, fmt.Errorf("server: invalid graph name %q (want %s)", name, nameRE)
+	}
+	r.mu.Lock()
+	_, taken := r.entries[name]
+	r.mu.Unlock()
+	if taken {
+		return report.GraphStats{}, fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+
+	g, closeFn, err := graphio.Load(path)
+	if err != nil {
+		return report.GraphStats{}, err
+	}
+	e := &entry{
+		name:     name,
+		path:     path,
+		g:        g,
+		close:    closeFn,
+		digest:   g.Digest(), // computed once, off the request path
+		loadedAt: time.Now(),
+	}
+
+	r.mu.Lock()
+	if _, taken := r.entries[name]; taken {
+		r.mu.Unlock()
+		closeFn()
+		return report.GraphStats{}, fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	r.entries[name] = e
+	r.mu.Unlock()
+	return e.stats(), nil
+}
+
+// acquire returns the named entry with a reference held; the caller must
+// call release exactly once when done with the graph.
+func (r *registry) acquire(name string) (*entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.mu.Lock()
+	e.refs++
+	e.mu.Unlock()
+	return e, nil
+}
+
+// unload removes the named graph from the registry. New requests fail
+// with ErrGraphNotFound immediately; the underlying mapping is released
+// once the last in-flight acquirer calls release (right away when idle).
+func (r *registry) unload(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrGraphNotFound, name)
+	}
+	e.mu.Lock()
+	e.removed = true
+	drop := e.refs == 0
+	e.mu.Unlock()
+	if drop {
+		return e.close()
+	}
+	return nil
+}
+
+// list snapshots every registered graph, sorted by name.
+func (r *registry) list() []report.GraphStats {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]report.GraphStats, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// closeAll unloads every graph (shutdown path). Entries still referenced
+// by in-flight requests are closed by their final release.
+func (r *registry) closeAll() error {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for name, e := range r.entries {
+		entries = append(entries, e)
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	var errs []error
+	for _, e := range entries {
+		e.mu.Lock()
+		e.removed = true
+		drop := e.refs == 0
+		e.mu.Unlock()
+		if drop {
+			if err := e.close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

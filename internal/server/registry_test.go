@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRegistryUnloadDefersCloseUntilRelease pins the memory-safety
+// contract around hot-unload: the snapshot mapping is released only
+// after the last in-flight acquirer lets go, so a solve can never read
+// an unmapped arena.
+func TestRegistryUnloadDefersCloseUntilRelease(t *testing.T) {
+	path := writeTestSnapshot(t)
+	r := newRegistry()
+	if _, err := r.load("g", path); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := r.acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	orig := ent.close
+	ent.close = func() error {
+		closed = true
+		return orig()
+	}
+
+	if err := r.unload("g"); err != nil {
+		t.Fatal(err)
+	}
+	if closed {
+		t.Fatal("unload closed the mapping while a reference was held")
+	}
+	// The graph must remain fully usable: walk every adjacency (this
+	// faults if the mapping were gone).
+	edges := 0
+	for v := 0; v < ent.g.N(); v++ {
+		edges += len(ent.g.Neighbors(v))
+	}
+	if edges != 2*ent.g.M() {
+		t.Fatalf("walked %d directed edges, want %d", edges, 2*ent.g.M())
+	}
+	// Unloaded names are gone immediately and reusable immediately.
+	if _, err := r.acquire("g"); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("acquire after unload: %v", err)
+	}
+	if _, err := r.load("g", path); err != nil {
+		t.Fatalf("reload after unload: %v", err)
+	}
+
+	if err := ent.release(); err != nil {
+		t.Fatal(err)
+	}
+	if !closed {
+		t.Fatal("final release did not close the mapping")
+	}
+	if err := r.closeAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	path := writeTestSnapshot(t)
+	r := newRegistry()
+	defer r.closeAll()
+
+	for _, name := range []string{"", "../evil", "a b", strings.Repeat("x", 65), ".hidden"} {
+		if _, err := r.load(name, path); err == nil {
+			t.Errorf("name %q was accepted", name)
+		}
+	}
+	if _, err := r.load("ok", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.load("ok", path); !errors.Is(err, ErrGraphExists) {
+		t.Fatalf("duplicate load: %v", err)
+	}
+	if _, err := r.load("gone", path+".missing"); err == nil {
+		t.Error("nonexistent path was accepted")
+	}
+	if err := r.unload("never"); !errors.Is(err, ErrGraphNotFound) {
+		t.Fatalf("unload unknown: %v", err)
+	}
+	if got := r.list(); len(got) != 1 || got[0].Name != "ok" {
+		t.Fatalf("listing: %+v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nearclique/internal/report"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// serving-grade default.
+type Config struct {
+	// Concurrency is the number of solve workers (default GOMAXPROCS).
+	// On the canonical 1-CPU deployment that is 1: solves execute one at
+	// a time and the queue absorbs bursts, which is exactly the paper's
+	// cheap-enough-to-serve story — requests are short, so a short bounded
+	// wait beats oversubscribing the core.
+	Concurrency int
+	// QueueDepth is how many admitted jobs may wait beyond the running
+	// ones before /v1/solve starts returning 429 (default 64; negative
+	// means zero waiting slots — shed whenever every worker is busy).
+	QueueDepth int
+	// CacheBytes is the result-cache budget in bytes (default 32 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// DefaultTimeout caps a request's run when it names no timeout_ms
+	// itself; 0 means no implicit deadline. The clock starts at
+	// admission, so time spent waiting in the queue counts against it.
+	DefaultTimeout time.Duration
+	// MaxBatch caps the items one /v1/batch request may carry
+	// (default 256).
+	MaxBatch int
+	// Version is reported by /statz (the daemon passes its build info).
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Server is the long-running serving state: registry + cache + admission
+// queue behind an http.Handler. Construct with New, expose Handler
+// through an http.Server, and on shutdown call Drain then Close.
+type Server struct {
+	cfg      Config
+	reg      *registry
+	cache    *resultCache
+	admit    *admitter
+	start    time.Time
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// testHookBeforeSolve, when set (tests only), runs on the worker
+	// goroutine right before each solve — the deterministic way to hold
+	// a worker busy and probe queue saturation and drain ordering.
+	testHookBeforeSolve func()
+}
+
+// New builds a Server from cfg (zero value fine) with no graphs loaded;
+// load them with LoadGraph or the POST /v1/graphs endpoint.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   newRegistry(),
+		cache: newResultCache(cfg.CacheBytes),
+		admit: newAdmitter(cfg.Concurrency, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphsList)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphsLoad)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphsUnload)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return s
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// LoadGraph opens the graph file at path and registers it under name —
+// the programmatic twin of POST /v1/graphs, used by the daemon's -load
+// flags.
+func (s *Server) LoadGraph(name, path string) (report.GraphStats, error) {
+	return s.reg.load(name, path)
+}
+
+// StartDrain flips the server into draining mode without waiting:
+// /healthz turns 503 (so load balancers stop routing here) and new solve
+// admissions are refused with 503, while queued and running jobs proceed
+// untouched. The daemon calls this before http.Server.Shutdown so
+// in-flight HTTP requests — which are exactly the admitted jobs — finish
+// cleanly.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.admit.stopIntake()
+}
+
+// Drain is StartDrain plus waiting for every queued and in-flight job to
+// finish.
+func (s *Server) Drain() {
+	s.StartDrain()
+	s.admit.drain()
+}
+
+// Close drains and unloads every graph, releasing the snapshot mappings.
+// The server must not serve requests afterwards.
+func (s *Server) Close() error {
+	s.Drain()
+	return s.reg.closeAll()
+}
+
+// Stats assembles the /statz record.
+func (s *Server) Stats() report.ServerStats {
+	return report.ServerStats{
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Version:       s.cfg.Version,
+		GoVersion:     runtime.Version(),
+		Draining:      s.draining.Load(),
+		Concurrency:   s.cfg.Concurrency,
+		QueueDepth:    s.admit.queued(),
+		QueueCapacity: s.cfg.QueueDepth,
+		InFlight:      int(s.admit.inFlight.Load()),
+		Accepted:      s.admit.accepted.Load(),
+		Rejected:      s.admit.rejected.Load(),
+		Cache:         s.cache.stats(),
+		Graphs:        s.reg.list(),
+	}
+}

@@ -81,7 +81,10 @@ import (
 	"nearclique/internal/graphio"
 )
 
-// Graph is an immutable simple undirected graph on nodes 0..N()-1.
+// Graph is an immutable simple undirected graph on nodes 0..N()-1. Its
+// Digest method returns a stable content digest (the `.ncsr` snapshot
+// checksum over the canonical CSR arena), the identity the serving
+// layer's result cache and the report schema key results by.
 type Graph = graph.Graph
 
 // Builder accumulates edges and produces an immutable Graph with dense
