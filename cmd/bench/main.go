@@ -13,6 +13,12 @@
 // -input file (edge list, .txt.gz, or .ncsr snapshot — auto-detected) is
 // measured instead of the synthetic grid when given.
 //
+// With -refine it measures the refinement post-pass instead and emits
+// BENCH_refine.json: on planted-clique workloads over a grid of seeds,
+// base vs refined candidate quality (size, density, planted-set
+// recovery) plus the improved-seed fraction — the second quality axis
+// the refinement subsystem is tracked by.
+//
 // Usage:
 //
 //	bench                 # full engine grid (tens of seconds)
@@ -20,9 +26,11 @@
 //	bench -o BENCH_engine.json
 //	bench -load -o BENCH_graph.json       # load-path comparison, n=1e5/1e6
 //	bench -load -input web.ncsr           # load a specific file
+//	bench -refine -o BENCH_refine.json    # base vs refined quality, n=1e4/1e5
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"nearclique"
 	"nearclique/internal/buildinfo"
 	"nearclique/internal/congest"
 	"nearclique/internal/core"
@@ -61,6 +70,15 @@ type LoadReport struct {
 	Results    []report.LoadMeasurement `json:"results"`
 }
 
+// RefineReport is the -refine emitted file (BENCH_refine.json).
+type RefineReport struct {
+	Generated  string                     `json:"generated"`
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Quick      bool                       `json:"quick"`
+	Results    []report.RefineMeasurement `json:"results"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -73,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("o", "", "write the JSON report to this file (default stdout)")
 		seed    = fs.Int64("seed", 1, "base seed")
 		load    = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
+		refineF = fs.Bool("refine", false, "measure base vs refined candidate quality on planted-clique workloads instead of engines")
 		input   = fs.String("input", "", "with -load: measure this graph file (auto-detected format) instead of the synthetic grid")
 		version = fs.Bool("version", false, "print version and exit")
 	)
@@ -84,7 +103,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	var payload interface{}
-	if *load {
+	if *refineF {
+		results, err := refineBenchmarks(stderr, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		payload = RefineReport{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+			Results:    results,
+		}
+	} else if *load {
 		results, err := loadBenchmarks(stderr, *quick, *seed, *input)
 		if err != nil {
 			fmt.Fprintln(stderr, "bench:", err)
@@ -423,6 +455,134 @@ func writeFileWith(path string, write func(io.Writer) error) error {
 	}
 	return f.Close()
 }
+
+// --- refine: base vs refined candidate quality ---------------------------
+
+// refinePoint is one planted-clique workload of the -refine grid: a
+// strict clique of Size nodes planted over an AvgDeg sparse background,
+// solved and refined across Seeds independent (graph, coin) seeds.
+type refinePoint struct {
+	N, Size int
+	AvgDeg  float64
+	Seeds   int
+}
+
+func refinePoints(quick bool) []refinePoint {
+	if quick {
+		return []refinePoint{{N: 5_000, Size: 300, AvgDeg: 10, Seeds: 3}}
+	}
+	return []refinePoint{
+		{N: 10_000, Size: 400, AvgDeg: 12, Seeds: 10},
+		{N: 100_000, Size: 1000, AvgDeg: 12, Seeds: 10},
+	}
+}
+
+// refineBenchmarks runs each workload twice per seed — once plain, once
+// with the near-clique refinement post-pass — and aggregates base vs
+// refined quality. The base run pins the comparison: the refined run's
+// candidates are bit-identical to it (refinement never touches the
+// protocol transcript), so any quality delta is attributable to the
+// post-pass alone. RefineWallNS is the post-pass share of wall time
+// (refined-run wall minus base-run wall, clamped at zero per seed).
+func refineBenchmarks(stderr io.Writer, quick bool, seed int64) ([]report.RefineMeasurement, error) {
+	spec, err := nearclique.ParseRefineSpec("near")
+	if err != nil {
+		return nil, err
+	}
+	var out []report.RefineMeasurement
+	for _, pt := range refinePoints(quick) {
+		m := report.RefineMeasurement{
+			Workload: fmt.Sprintf("refine/planted-n%d", pt.N),
+			Engine:   "seq",
+			Refine:   spec.String(),
+			N:        pt.N,
+			Seeds:    pt.Seeds,
+		}
+		improved, counted := 0, 0
+		var baseSize, refSize, baseDen, refDen, moves, baseRec, refRec float64
+		for i := 0; i < pt.Seeds; i++ {
+			s := seed + int64(i)
+			fmt.Fprintf(stderr, "bench: %s seed=%d...\n", m.Workload, s)
+			inst := gen.SparsePlantedNearClique(pt.N, pt.Size, 0, pt.AvgDeg, s)
+			if i == 0 {
+				m.M = inst.Graph.M()
+				m.GraphDigest = inst.Graph.Digest()
+			}
+			sample := 4 * float64(pt.N) / float64(pt.Size)
+			common := []nearclique.Option{
+				nearclique.WithEpsilon(expt.ScaleEps),
+				nearclique.WithExpectedSample(sample),
+				nearclique.WithMinSize(pt.Size / 4),
+				nearclique.WithSeed(s + 1),
+			}
+			baseSolver, err := nearclique.New(common...)
+			if err != nil {
+				return nil, err
+			}
+			refSolver, err := nearclique.New(append(common[:len(common):len(common)],
+				nearclique.WithRefine(spec))...)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			baseRes, err := baseSolver.Solve(context.Background(), inst.Graph)
+			baseWall := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: base solve: %w", m.Workload, s, err)
+			}
+			start = time.Now()
+			refRes, err := refSolver.Solve(context.Background(), inst.Graph)
+			refWall := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: refined solve: %w", m.Workload, s, err)
+			}
+			m.SolveWallNS += baseWall
+			if d := refWall - baseWall; d > 0 {
+				m.RefineWallNS += d
+			}
+
+			best := baseRes.Best()
+			if best == nil || len(refRes.Refined) == 0 {
+				continue // a miss counts against ImprovedPct via the seed count
+			}
+			// Refined records are index-aligned with the (bit-identical)
+			// candidate list, so Refined[0] is exactly the refinement of
+			// the base best candidate — the only apples-to-apples pairing
+			// for the improved/density/recovery columns.
+			ref := &refRes.Refined[0]
+			counted++
+			baseSize += float64(len(best.Members))
+			baseDen += best.Density
+			refSize += float64(len(ref.Members))
+			refDen += ref.Density
+			moves += float64(ref.Moves)
+			baseRec += 100 * float64(expt.RecoveredCount(inst.D, best.Members)) / float64(len(inst.D))
+			refRec += 100 * float64(expt.RecoveredCount(inst.D, ref.Members)) / float64(len(inst.D))
+			if ref.Density >= best.Density &&
+				(len(ref.Members) > len(best.Members) || ref.Density > best.Density) {
+				improved++
+			}
+		}
+		// ImprovedPct is over every seed (a no-candidate miss counts
+		// against it); the mean columns average only the seeds that
+		// committed a candidate, so a miss cannot deflate them.
+		m.ImprovedPct = round2(100 * float64(improved) / float64(pt.Seeds))
+		if counted > 0 {
+			k := float64(counted)
+			m.MeanBaseSize = round2(baseSize / k)
+			m.MeanRefinedSize = round2(refSize / k)
+			m.MeanBaseDensity = round4(baseDen / k)
+			m.MeanRefinedDensity = round4(refDen / k)
+			m.MeanMoves = round2(moves / k)
+			m.BaseRecoveredPct = round2(baseRec / k)
+			m.RecoveredPct = round2(refRec / k)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func round4(x float64) float64 { return float64(int64(x*10000+0.5)) / 10000 }
 
 // formatOf labels an -input file for the report by its extension.
 func formatOf(path string) string {

@@ -117,6 +117,48 @@ func TestBenchLoadQuickEmitsValidJSON(t *testing.T) {
 	}
 }
 
+// TestBenchRefineQuickEmitsValidJSON: -refine must emit one aggregate
+// record per planted workload, with refined quality never below base
+// quality — the executable form of the base-vs-refined tracking axis.
+func TestBenchRefineQuickEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "refine.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-refine", "-quick", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep RefineReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rep.Results {
+		if r.Seeds <= 0 || r.N <= 0 || r.M <= 0 || r.Refine == "" {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		if r.MeanRefinedDensity < r.MeanBaseDensity {
+			t.Fatalf("%s: refined density below base: %+v", r.Workload, r)
+		}
+		if r.MeanRefinedSize < r.MeanBaseSize {
+			t.Fatalf("%s: refined size below base: %+v", r.Workload, r)
+		}
+		if r.RecoveredPct < r.BaseRecoveredPct {
+			t.Fatalf("%s: refined recovery below base: %+v", r.Workload, r)
+		}
+		if r.ImprovedPct < 90 {
+			t.Fatalf("%s: improved on only %.0f%% of seeds, want ≥ 90%%", r.Workload, r.ImprovedPct)
+		}
+	}
+}
+
 func TestVersionFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-version"}, &out, &errOut); code != 0 {

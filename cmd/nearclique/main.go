@@ -14,6 +14,7 @@
 //	gengraph -family planted -n 500 -size 150 | nearclique -eps 0.25 -s 6
 //	nearclique -eps 0.2 -s 8 -boost 4 -engine sharded web.edges
 //	nearclique -engine sharded -timeout 30s -json web.ncsr
+//	nearclique -refine near -json web.ncsr    # polish candidates post-run
 //
 // With -json the result is emitted as the machine-readable schema shared
 // with cmd/bench (internal/report): engine, graph shape, cost block
@@ -52,6 +53,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async (overrides -mode)")
 		mode     = fs.String("mode", "seq", `deprecated: "dist" (= -engine sharded) or "seq" (= -engine seq)`)
 		maxR     = fs.Int("maxrounds", 0, "deterministic round bound (0 = unlimited; simulator engines)")
+		refineFl = fs.String("refine", "", `refinement post-pass: "near[:eps]" or "quasi:gamma", optionally ",moves=N,pool=N" (empty = off)`)
 		async    = fs.Bool("async", false, "deprecated: same as -engine async")
 		timeout  = fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
 		jsonOut  = fs.Bool("json", false, "emit the machine-readable result schema shared with cmd/bench")
@@ -108,6 +110,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *maxR > 0 {
 		opts = append(opts, nearclique.WithMaxRounds(*maxR))
 	}
+	if *refineFl != "" {
+		spec, err := nearclique.ParseRefineSpec(*refineFl)
+		if err != nil {
+			fmt.Fprintln(stderr, "nearclique:", err)
+			return 2
+		}
+		opts = append(opts, nearclique.WithRefine(spec))
+	}
 	solver, err := nearclique.New(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "nearclique:", err)
@@ -148,6 +158,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		engine == nearclique.EngineAsync
 	fmt.Fprintf(stdout, "graph: n=%d m=%d | found %d near-clique(s)",
 		g.N(), g.M(), len(res.Candidates))
+	if res.RefineSpec != "" && len(res.Candidates) > 0 {
+		fmt.Fprintf(stdout, " | refined[%s] best size=%d density=%.4f moves=%d",
+			res.RefineSpec, res.Metrics.RefinedSize, res.Metrics.RefinedDensity,
+			res.Metrics.RefineMoves)
+	}
 	if simulated {
 		fmt.Fprintf(stdout, " | rounds=%d frames=%d maxFrameBits=%d",
 			res.Metrics.Rounds, res.Metrics.Frames, res.Metrics.MaxFrameBits)
@@ -165,6 +180,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			i+1, c.Label, c.Version, len(c.Members), c.Density)
 		fmt.Fprintf(stdout, "   members: %v\n", c.Members)
 		fmt.Fprintf(stdout, "   sample subset X: %v\n", c.SubsetX)
+		if i < len(res.Refined) {
+			ref := res.Refined[i]
+			fmt.Fprintf(stdout, "   refined: size=%d density=%.4f moves=%d seed=%d improved=%v\n",
+				len(ref.Members), ref.Density, ref.Moves, ref.SeedVertex, ref.Improved)
+		}
 	}
 	return 0
 }

@@ -46,6 +46,57 @@ func TestRunDistributed(t *testing.T) {
 	}
 }
 
+func TestRunRefine(t *testing.T) {
+	// Human-readable output carries the refined summary and per-candidate
+	// lines; the base candidate listing stays untouched.
+	var out, errOut bytes.Buffer
+	code := run([]string{"-eps", "0.25", "-s", "7", "-seed", "3", "-refine", "near"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "refined[near]") || !strings.Contains(out.String(), "refined: size=") {
+		t.Fatalf("missing refined output: %s", out.String())
+	}
+
+	// -json emits the refine fields of the shared report schema.
+	out.Reset()
+	code = run([]string{"-eps", "0.25", "-s", "7", "-seed", "3", "-refine", "quasi:0.90,moves=512", "-json"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("json exit %d: %s", code, errOut.String())
+	}
+	var rec struct {
+		Refine      string  `json:"refine"`
+		RefinedSize int     `json:"refined_size"`
+		RefinedDen  float64 `json:"refined_density"`
+		Refined     []struct {
+			Size        int     `json:"size"`
+			BaseDensity float64 `json:"base_density"`
+			Density     float64 `json:"density"`
+		} `json:"refined"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("parse -json output: %v", err)
+	}
+	if rec.Refine != "quasi:0.9" { // canonicalized spelling
+		t.Fatalf("refine spec %q, want the canonical quasi:0.9", rec.Refine)
+	}
+	if rec.RefinedSize == 0 || len(rec.Refined) == 0 {
+		t.Fatalf("refined fields empty: %s", out.String())
+	}
+	for i, r := range rec.Refined {
+		if r.Density < r.BaseDensity {
+			t.Fatalf("refined[%d] density decreased: %v < %v", i, r.Density, r.BaseDensity)
+		}
+	}
+
+	// A malformed spec fails at flag validation, before any solving.
+	if code := run([]string{"-refine", "bogus"}, strings.NewReader("0 1\n"), &out, &errOut); code != 2 {
+		t.Fatalf("bad refine spec exited %d, want 2", code)
+	}
+}
+
 func TestRunBadInput(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run(nil, strings.NewReader("not an edge list"), &out, &errOut); code == 0 {

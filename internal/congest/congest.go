@@ -138,6 +138,14 @@ type Metrics struct {
 	AsyncAcks        int
 	AsyncSafes       int
 	AsyncVirtualTime int64
+
+	// Refinement post-pass outputs (zero unless the Solver ran
+	// WithRefine): the best refined candidate's size and density, and the
+	// total local-search moves across all candidates. Filled by the
+	// public Solver's post-pass — the executors themselves never refine.
+	RefinedSize    int
+	RefinedDensity float64
+	RefineMoves    int
 }
 
 // Network is a synchronous CONGEST-model executor over a fixed graph.

@@ -19,6 +19,7 @@ import (
 
 	"nearclique/internal/congest"
 	"nearclique/internal/graph"
+	"nearclique/internal/refine"
 )
 
 // Default bounds.
@@ -175,6 +176,13 @@ type Result struct {
 	MaxComponent int
 	// Metrics holds simulator costs (zero-valued for sequential runs).
 	Metrics congest.Metrics
+	// RefineSpec is the canonical refinement spec when the Solver ran its
+	// post-pass ("" otherwise; the engines never refine — the base
+	// transcript above is always the unrefined protocol output).
+	RefineSpec string
+	// Refined holds the refinement post-pass outputs, index-aligned with
+	// Candidates; nil when refinement was not requested.
+	Refined []refine.Refined
 }
 
 // Best returns the largest committed candidate, or nil if none.

@@ -1,0 +1,79 @@
+package graph
+
+import "testing"
+
+func TestCoreNumbersSmallShapes(t *testing.T) {
+	// Path on 4 nodes: every core number is 1.
+	path := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	for v, c := range path.CoreNumbers() {
+		if c != 1 {
+			t.Fatalf("path core[%d] = %d, want 1", v, c)
+		}
+	}
+
+	// K5 plus a pendant: clique nodes have core 4, the pendant core 1.
+	edges := [][2]int{{0, 5}}
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g := FromEdges(6, edges)
+	cores := g.CoreNumbers()
+	for v := 0; v < 5; v++ {
+		if cores[v] != 4 {
+			t.Fatalf("clique core[%d] = %d, want 4", v, cores[v])
+		}
+	}
+	if cores[5] != 1 {
+		t.Fatalf("pendant core = %d, want 1", cores[5])
+	}
+
+	// Empty graph and isolated nodes.
+	if got := (&Graph{}).CoreNumbers(); got != nil {
+		t.Fatalf("zero graph cores = %v, want nil", got)
+	}
+	iso := FromEdges(3, nil)
+	for v, c := range iso.CoreNumbers() {
+		if c != 0 {
+			t.Fatalf("isolated core[%d] = %d, want 0", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersAgreeWithPeelingDefinition(t *testing.T) {
+	// Cross-check on a mixed graph: core[v] ≥ k iff v survives repeated
+	// removal of nodes with degree < k.
+	g := FromEdges(9, [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {0, 3}, // K4 on 0..3
+		{3, 4}, {4, 5}, {5, 6}, {4, 6}, // triangle 4,5,6 hanging off
+		{6, 7}, {7, 8}, // tail
+	})
+	cores := g.CoreNumbers()
+	for k := 1; k <= 4; k++ {
+		alive := make(map[int]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			alive[v] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for v := range alive {
+				d := 0
+				for _, w := range g.Neighbors(v) {
+					if alive[int(w)] {
+						d++
+					}
+				}
+				if d < k {
+					delete(alive, v)
+					changed = true
+				}
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if alive[v] != (int(cores[v]) >= k) {
+				t.Fatalf("k=%d node %d: peeling says %v, core number %d", k, v, alive[v], cores[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package graphio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nearclique/internal/gen"
+)
+
+// ReadAny is the one entry point that sniffs every interchange format, so
+// its error paths are the ones a mis-fed server or CLI actually hits:
+// every snapshot decode failure must wrap ErrSnapshot (the public
+// ErrBadSnapshot) and every cap violation ErrTooLarge, both
+// errors.Is-visible through the sniffing layer.
+
+func TestReadAnyTruncatedSnapshotHeader(t *testing.T) {
+	full := snapBytes(t, gen.SparseErdosRenyi(60, 0.1, 3))
+	// Every cut that still shows the 4-byte magic must dispatch to the
+	// snapshot decoder and fail as a bad snapshot, never fall through to
+	// the edge-list parser.
+	for _, cut := range []int{4, 8, 20, snapHeaderSize - 1} {
+		_, err := ReadAny(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("ReadAny(truncated to %d bytes) succeeded", cut)
+		}
+		if !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("ReadAny(truncated to %d bytes): %v does not wrap ErrSnapshot", cut, err)
+		}
+	}
+	// A header-complete but payload-truncated stream fails the same way.
+	_, err := ReadAny(bytes.NewReader(full[:len(full)-5]))
+	if !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("ReadAny(truncated payload): %v does not wrap ErrSnapshot", err)
+	}
+}
+
+func TestReadAnyBadChecksum(t *testing.T) {
+	full := snapBytes(t, gen.SparseErdosRenyi(60, 0.1, 3))
+	// Flip one bit in the targets section: structure stays plausible, so
+	// only the CRC can catch it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	_, err := ReadAny(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("ReadAny accepted a bit-flipped snapshot")
+	}
+	if !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("ReadAny(bad CRC): %v does not wrap ErrSnapshot", err)
+	}
+	// And a corrupted header checksum field itself.
+	corrupt = append([]byte(nil), full...)
+	corrupt[56] ^= 0xFF // CRC field, per the header layout in snapshot.go
+	if _, err := ReadAny(bytes.NewReader(corrupt)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("ReadAny(corrupt CRC field): %v does not wrap ErrSnapshot", err)
+	}
+}
+
+func TestReadAnyGzipBombHitsCap(t *testing.T) {
+	defer func(old int) { MaxEdges = old }(MaxEdges)
+	MaxEdges = 500
+	var list bytes.Buffer
+	fmt.Fprintf(&list, "n %d\n", 2000)
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&list, "%d %d\n", i, i+1000)
+	}
+	_, err := ReadAny(bytes.NewReader(gzipBytes(t, list.Bytes())))
+	if err == nil {
+		t.Fatal("ReadAny decompressed past the edge cap")
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadAny(gzip bomb): %v does not wrap ErrTooLarge", err)
+	}
+	if errors.Is(err, ErrSnapshot) {
+		t.Fatalf("cap violation misclassified as a bad snapshot: %v", err)
+	}
+}
+
+func TestReadAnyNodeCapThroughSniffing(t *testing.T) {
+	defer func(old int) { MaxNodes = old }(MaxNodes)
+	MaxNodes = 100
+	if _, err := ReadAny(bytes.NewReader([]byte("n 101\n0 1\n"))); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadAny(node cap): %v does not wrap ErrTooLarge", err)
+	}
+}

@@ -30,6 +30,21 @@ type Candidate struct {
 	Members []int   `json:"members,omitempty"`
 }
 
+// RefinedCandidate is the refinement post-pass counterpart of one
+// Candidate: the polished set plus the base shape it started from, so
+// base-vs-refined quality reads off one record.
+type RefinedCandidate struct {
+	Label       int64   `json:"label"`
+	Size        int     `json:"size"`
+	Density     float64 `json:"density"`
+	BaseSize    int     `json:"base_size"`
+	BaseDensity float64 `json:"base_density"`
+	SeedVertex  int     `json:"seed_vertex"`
+	Moves       int     `json:"moves"`
+	Improved    bool    `json:"improved"`
+	Members     []int   `json:"members,omitempty"`
+}
+
 // Run is the record one solve over one graph emits: cmd/nearclique -json
 // prints it and cmd/nearcliqued serves it from /v1/solve and /v1/batch.
 // Error carries the failure while the rest of the record still reports
@@ -50,7 +65,16 @@ type Run struct {
 	SampleSizes  []int       `json:"sample_sizes,omitempty"`
 	MaxComponent int         `json:"max_component,omitempty"`
 	Candidates   []Candidate `json:"candidates"`
-	Error        string      `json:"error,omitempty"`
+	// Refinement post-pass fields, present only when the run refined:
+	// Refine is the canonical spec, RefinedSize/RefinedDensity the best
+	// refined candidate, RefineMoves the total local-search moves, and
+	// Refined the per-candidate records aligned with Candidates.
+	Refine         string             `json:"refine,omitempty"`
+	RefinedSize    int                `json:"refined_size,omitempty"`
+	RefinedDensity float64            `json:"refined_density,omitempty"`
+	RefineMoves    int                `json:"refine_moves,omitempty"`
+	Refined        []RefinedCandidate `json:"refined,omitempty"`
+	Error          string             `json:"error,omitempty"`
 }
 
 // Measurement is the cmd/bench record: one timed workload on one engine,
@@ -72,6 +96,32 @@ type Measurement struct {
 	AllocsPerRnd  float64 `json:"allocs_per_round"`
 	RecoveredPct  float64 `json:"recovered_pct,omitempty"`
 	SpeedupLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+}
+
+// RefineMeasurement is the cmd/bench -refine record (BENCH_refine.json):
+// base vs refined candidate quality on one planted-clique workload,
+// aggregated over a grid of seeds. ImprovedPct is the fraction of seeds
+// whose refined best candidate kept at least the base density while
+// strictly growing in size or density — the quality axis the refinement
+// subsystem is tracked by.
+type RefineMeasurement struct {
+	Workload           string  `json:"workload"`
+	Engine             string  `json:"engine"`
+	Refine             string  `json:"refine"`
+	GraphDigest        string  `json:"graph_digest,omitempty"`
+	N                  int     `json:"n"`
+	M                  int     `json:"m"`
+	Seeds              int     `json:"seeds"`
+	ImprovedPct        float64 `json:"improved_pct"`
+	MeanBaseSize       float64 `json:"mean_base_size"`
+	MeanRefinedSize    float64 `json:"mean_refined_size"`
+	MeanBaseDensity    float64 `json:"mean_base_density"`
+	MeanRefinedDensity float64 `json:"mean_refined_density"`
+	MeanMoves          float64 `json:"mean_moves"`
+	BaseRecoveredPct   float64 `json:"base_recovered_pct,omitempty"`
+	RecoveredPct       float64 `json:"recovered_pct,omitempty"`
+	SolveWallNS        int64   `json:"solve_wall_ns"`
+	RefineWallNS       int64   `json:"refine_wall_ns"`
 }
 
 // LoadMeasurement is the cmd/bench -load record (BENCH_graph.json): one
@@ -121,6 +171,26 @@ func FromResult(engine string, g *graph.Graph, res *core.Result, wall time.Durat
 			Density: c.Density,
 			Members: c.Members,
 		})
+	}
+	if res.RefineSpec != "" {
+		r.Refine = res.RefineSpec
+		r.RefinedSize = res.Metrics.RefinedSize
+		r.RefinedDensity = res.Metrics.RefinedDensity
+		r.RefineMoves = res.Metrics.RefineMoves
+		r.Refined = make([]RefinedCandidate, 0, len(res.Refined))
+		for _, ref := range res.Refined {
+			r.Refined = append(r.Refined, RefinedCandidate{
+				Label:       ref.Label,
+				Size:        len(ref.Members),
+				Density:     ref.Density,
+				BaseSize:    ref.BaseSize,
+				BaseDensity: ref.BaseDensity,
+				SeedVertex:  ref.SeedVertex,
+				Moves:       ref.Moves,
+				Improved:    ref.Improved,
+				Members:     ref.Members,
+			})
+		}
 	}
 	return r
 }

@@ -44,7 +44,11 @@ type SolveRequest struct {
 	Boost          int     `json:"boost,omitempty"`
 	MinSize        int     `json:"min_size,omitempty"`
 	MaxRounds      int     `json:"max_rounds,omitempty"`
-	TimeoutMS      int64   `json:"timeout_ms,omitempty"`
+	// Refine enables the refinement post-pass: "near", "near:0.2",
+	// "quasi:0.6", optionally with ",moves=N,pool=N" budgets. Empty means
+	// no refinement. Equivalent spellings canonicalize to one cache key.
+	Refine    string `json:"refine,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // BatchRequest is the /v1/batch body.
@@ -71,7 +75,12 @@ type solveParams struct {
 	boost     int
 	minSize   int
 	maxRounds int
-	timeout   time.Duration
+	// refine is the canonical refinement spec string ("" = off) and
+	// refineSpec its parsed form; the canonical string is what the cache
+	// key embeds, so "quasi:0.60" and "quasi:0.6" share one entry.
+	refine     string
+	refineSpec nearclique.RefineSpec
+	timeout    time.Duration
 }
 
 // resolve canonicalizes the request. Validation beyond shape (ε range,
@@ -110,6 +119,14 @@ func (req *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	}
 	p.minSize = req.MinSize
 	p.maxRounds = req.MaxRounds
+	if req.Refine != "" {
+		spec, err := nearclique.ParseRefineSpec(req.Refine)
+		if err != nil {
+			return p, err
+		}
+		p.refineSpec = spec
+		p.refine = spec.String()
+	}
 	if req.TimeoutMS < 0 {
 		return p, fmt.Errorf("server: negative timeout_ms %d", req.TimeoutMS)
 	}
@@ -141,6 +158,9 @@ func (p solveParams) solver(concurrency int) (*nearclique.Solver, error) {
 	} else {
 		opts = append(opts, nearclique.WithExpectedSample(p.sample))
 	}
+	if p.refine != "" {
+		opts = append(opts, nearclique.WithRefine(p.refineSpec))
+	}
 	if concurrency > 1 {
 		per := runtime.GOMAXPROCS(0) / concurrency
 		if per < 1 {
@@ -168,7 +188,8 @@ func cacheKey(digest string, p solveParams) string {
 		"|seed=" + strconv.FormatInt(p.seed, 10) +
 		"|boost=" + strconv.Itoa(p.boost) +
 		"|min=" + strconv.Itoa(p.minSize) +
-		"|rounds=" + strconv.Itoa(p.maxRounds)
+		"|rounds=" + strconv.Itoa(p.maxRounds) +
+		"|refine=" + p.refine
 }
 
 // outcome is one executed solve, ready to write: the marshaled Run body,

@@ -43,6 +43,14 @@
 // Metrics in the returned Result. WithProgress installs a per-step
 // callback for serving-side liveness.
 //
+// WithRefine adds a deterministic local-search refinement post-pass
+// (DESIGN.md §10): each committed candidate is polished by
+// neighborhood-seeded growth, peel, and swap moves without ever
+// decreasing its density; the base transcript stays bit-identical and
+// the refined output extends the determinism contract (same seed ⇒ same
+// refined sets on every engine). Results land in Result.Refined and the
+// Metrics Refined* fields.
+//
 // Graph construction is unified behind Build, NewGraphBuilder, and
 // Generate, which auto-select the dense-bitset or CSR-sparse internal
 // representation from the node and edge counts (DESIGN.md §7); ReadGraph

@@ -10,6 +10,7 @@ import (
 
 	"nearclique/internal/congest"
 	"nearclique/internal/core"
+	"nearclique/internal/refine"
 )
 
 // Engine selects how a Solver executes DistNearClique. Every engine
@@ -82,6 +83,7 @@ type config struct {
 	searchSteps int
 	searchMin   float64
 	searchMax   float64
+	refine      *refine.Spec
 }
 
 // Option configures a Solver at construction time.
@@ -212,6 +214,55 @@ func WithProgress(fn func(Progress)) Option {
 	return func(c *config) error { c.opts.Progress = fn; return nil }
 }
 
+// RefineSpec configures the refinement post-pass; see WithRefine and the
+// field documentation in the refine package. Parse the flag/request
+// spelling ("near", "near:0.2", "quasi:0.6,moves=128") with
+// ParseRefineSpec; the zero value is a valid near-clique spec inheriting
+// the run's ε.
+type RefineSpec = refine.Spec
+
+// Refinement objectives for RefineSpec.Objective.
+const (
+	// RefineNearClique maximizes candidate size subject to edge density
+	// ≥ 1−ε (RefineSpec.Epsilon, or the run's ε when zero).
+	RefineNearClique = refine.ObjectiveNearClique
+	// RefineQuasiClique maximizes candidate size subject to edge density
+	// ≥ γ (RefineSpec.Gamma).
+	RefineQuasiClique = refine.ObjectiveQuasiClique
+)
+
+// RefinedCandidate is the refinement post-pass output for one committed
+// candidate; see Result.Refined.
+type RefinedCandidate = refine.Refined
+
+// ParseRefineSpec parses the textual refinement spec used by the cmd/
+// -refine flags and the server's "refine" request parameter, normalizing
+// equivalent spellings to one canonical Spec (and Spec.String()).
+func ParseRefineSpec(s string) (RefineSpec, error) { return refine.ParseSpec(s) }
+
+// WithRefine enables the deterministic local-search refinement post-pass:
+// after the base run commits its candidates (bit-identical to an
+// unrefined run — refinement never touches the protocol transcript), each
+// candidate is greedily polished by neighborhood-seeded growth, peeling,
+// and swap moves scored by incremental edge-density deltas. Refined
+// output lands in Result.Refined and the Metrics Refined* fields; the
+// refined set's density is never below the base candidate's. The
+// post-pass draws only from its own counter-based RNG stream keyed by
+// (seed, candidate rank), so refined output is bit-identical across
+// engines, GOMAXPROCS, and batch concurrency, like the base run. The
+// pass observes the Solve context at every move: on cancellation the
+// error wraps the context error and the Result keeps the completed base
+// run with no refined output.
+func WithRefine(spec RefineSpec) Option {
+	return func(c *config) error {
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		c.refine = &spec
+		return nil
+	}
+}
+
 // WithAsyncMaxDelay bounds per-message delay in virtual time units for
 // EngineAsync (default 5).
 func WithAsyncMaxDelay(d int) Option {
@@ -303,20 +354,70 @@ func (s *Solver) Solve(ctx context.Context, g *Graph) (*Result, error) {
 	return s.solve(ctx, g, s.cfg.opts)
 }
 
-// solve dispatches one run with the given resolved options.
+// solve dispatches one run with the given resolved options, then applies
+// the refinement post-pass when configured. Refinement runs only on
+// clean completions: aborted or canceled runs return their partial base
+// metrics untouched.
 func (s *Solver) solve(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	var res *Result
+	var err error
 	switch s.cfg.engine {
 	case EngineAuto, EngineSequential:
 		opts.Async = false
-		return core.FindSequentialContext(ctx, g, opts)
+		res, err = core.FindSequentialContext(ctx, g, opts)
 	case EngineSharded:
 		opts.Engine, opts.Async = congest.EngineSharded, false
+		res, err = core.FindContext(ctx, g, opts)
 	case EngineLegacy:
 		opts.Engine, opts.Async = congest.EngineLegacy, false
+		res, err = core.FindContext(ctx, g, opts)
 	case EngineAsync:
 		opts.Async = true
+		res, err = core.FindContext(ctx, g, opts)
 	}
-	return core.FindContext(ctx, g, opts)
+	if err == nil && res != nil && s.cfg.refine != nil {
+		err = s.applyRefine(ctx, g, res, opts)
+	}
+	return res, err
+}
+
+// applyRefine runs the refinement post-pass over every committed
+// candidate of a completed run. It is pure post-processing: the base
+// labels, candidates, and simulator metrics are already final and stay
+// bit-identical to an unrefined run; the pass only fills Result.Refined,
+// Result.RefineSpec, and the Metrics Refined* counters. Candidates are
+// keyed by their rank in the (deterministically sorted) candidate list,
+// so the post-pass RNG stream — and therefore the refined output — is a
+// function of (graph, transcript, spec, seed) alone.
+//
+// The context is observed at every local-search move, so serving
+// deadlines bound the post-pass like they bound the run. Cancellation is
+// all-or-nothing: the error wraps the context error, the base result
+// stays intact and valid, and no partial refinement is exposed —
+// mirroring the abort convention of the run itself.
+func (s *Solver) applyRefine(ctx context.Context, g *Graph, res *Result, opts Options) error {
+	spec := *s.cfg.refine
+	refined := make([]RefinedCandidate, len(res.Candidates))
+	r := refine.New(g)
+	moves, bestSize, bestDensity := 0, 0, 0.0
+	for i, c := range res.Candidates {
+		ref, err := r.Candidate(ctx, c.Label, c.Members, spec, opts.Epsilon, opts.Seed, i)
+		if err != nil {
+			return fmt.Errorf("nearclique: refinement aborted: %w", err)
+		}
+		refined[i] = ref
+		moves += ref.Moves
+		if len(ref.Members) > bestSize ||
+			(len(ref.Members) == bestSize && ref.Density > bestDensity) {
+			bestSize, bestDensity = len(ref.Members), ref.Density
+		}
+	}
+	res.RefineSpec = spec.String()
+	res.Refined = refined
+	res.Metrics.RefineMoves = moves
+	res.Metrics.RefinedSize = bestSize
+	res.Metrics.RefinedDensity = bestDensity
+	return nil
 }
 
 // SolveBatch runs the solver over a batch of immutable graphs on a
@@ -403,6 +504,8 @@ func (s *Solver) SolveBatch(ctx context.Context, graphs []*Graph) ([]*Result, er
 // It replaces the deprecated SearchMinEpsilon; tune it with
 // WithSearchSteps and WithSearchBounds. Probes observe ctx, and
 // cancellation surfaces as a wrapped context error — never as ErrNotFound.
+// With WithRefine configured the winning probe's result is refined like a
+// Solve result, a near-objective spec inheriting the found ε.
 func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *Result, error) {
 	versions := 0 // core's search default (4): probes must be reliable
 	if s.cfg.versionsSet {
@@ -415,7 +518,7 @@ func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *R
 	if s.cfg.opts.P > 0 {
 		sample = s.cfg.opts.P * float64(g.N())
 	}
-	return core.SearchContext(ctx, g, core.SearchOptions{
+	eps, res, err := core.SearchContext(ctx, g, core.SearchOptions{
 		Rho:            rho,
 		ExpectedSample: sample,
 		Versions:       versions,
@@ -424,6 +527,12 @@ func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *R
 		EpsMax:         s.cfg.searchMax,
 		Seed:           s.cfg.opts.Seed,
 	})
+	if err == nil && res != nil && s.cfg.refine != nil {
+		opts := s.cfg.opts
+		opts.Epsilon = eps // the run ε an inherit-mode near spec resolves to
+		err = s.applyRefine(ctx, g, res, opts)
+	}
+	return eps, res, err
 }
 
 // legacySolver adapts a legacy Options value to a Solver, preserving the
