@@ -19,6 +19,20 @@
 // recovery) plus the improved-seed fraction — the second quality axis
 // the refinement subsystem is tracked by.
 //
+// With -flight it measures the flight recorder's overhead — the same
+// workload solved with the per-round recorder detached and attached,
+// best-of-k each — and emits BENCH_flight.json. The recorder's contract
+// is observational: the record pins both the wall-time overhead (the <2%
+// budget) and that the two runs' transcripts digest identically.
+//
+// With -costfit it runs a fixed engine×size grid of solves, fits the
+// admission cost model (internal/costmodel) on the observed costs, and
+// emits the model itself as COSTMODEL.json — the artifact nearcliqued
+// -costmodel seeds from. -costcheck is the CI twin: it re-solves the
+// fixed seeds, compares observed wall time against the committed model's
+// prediction, and fails on >3x drift — the committed pricing artifact
+// cannot silently rot as the engines change underneath it.
+//
 // Usage:
 //
 //	bench                 # full engine grid (tens of seconds)
@@ -27,14 +41,19 @@
 //	bench -load -o BENCH_graph.json       # load-path comparison, n=1e5/1e6
 //	bench -load -input web.ncsr           # load a specific file
 //	bench -refine -o BENCH_refine.json    # base vs refined quality, n=1e4/1e5
+//	bench -flight -o BENCH_flight.json    # recorder on-vs-off overhead, n=1e5
+//	bench -costfit -o COSTMODEL.json      # fit the admission cost model
+//	bench -costcheck -quick               # CI drift gate vs COSTMODEL.json
 package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,6 +64,7 @@ import (
 	"nearclique/internal/buildinfo"
 	"nearclique/internal/congest"
 	"nearclique/internal/core"
+	"nearclique/internal/costmodel"
 	"nearclique/internal/expt"
 	"nearclique/internal/gen"
 	"nearclique/internal/graph"
@@ -70,6 +90,15 @@ type LoadReport struct {
 	Results    []report.LoadMeasurement `json:"results"`
 }
 
+// FlightReport is the -flight emitted file (BENCH_flight.json).
+type FlightReport struct {
+	Generated  string                     `json:"generated"`
+	GoVersion  string                     `json:"go_version"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Quick      bool                       `json:"quick"`
+	Results    []report.FlightMeasurement `json:"results"`
+}
+
 // RefineReport is the -refine emitted file (BENCH_refine.json).
 type RefineReport struct {
 	Generated  string                     `json:"generated"`
@@ -92,6 +121,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Int64("seed", 1, "base seed")
 		load    = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
 		refineF = fs.Bool("refine", false, "measure base vs refined candidate quality on planted-clique workloads instead of engines")
+		flightF = fs.Bool("flight", false, "measure flight-recorder overhead (recorder on vs off) instead of engines")
+		costfit = fs.Bool("costfit", false, "fit the admission cost model on a fixed solve grid and emit it as JSON")
+		costchk = fs.Bool("costcheck", false, "re-solve the fixed grid and fail on >3x drift vs the committed cost model")
+		model   = fs.String("model", "COSTMODEL.json", "with -costcheck: the committed cost-model artifact to check against")
 		input   = fs.String("input", "", "with -load: measure this graph file (auto-detected format) instead of the synthetic grid")
 		version = fs.Bool("version", false, "print version and exit")
 	)
@@ -102,8 +135,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, buildinfo.String("bench"))
 		return 0
 	}
+	if *costchk {
+		if err := costCheck(stderr, *quick, *seed, *model); err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "costcheck: ok")
+		return 0
+	}
 	var payload interface{}
-	if *refineF {
+	if *costfit {
+		m, err := costFitGrid(stderr, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		payload = m
+	} else if *flightF {
+		results, err := flightBenchmarks(stderr, *quick, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		payload = FlightReport{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Quick:      *quick,
+			Results:    results,
+		}
+	} else if *refineF {
 		results, err := refineBenchmarks(stderr, *quick, *seed)
 		if err != nil {
 			fmt.Fprintln(stderr, "bench:", err)
@@ -597,3 +658,246 @@ func formatOf(path string) string {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// --- flight: recorder on-vs-off overhead ---------------------------------
+
+// flightBenchmarks solves one planted workload per engine twice —
+// recorder detached, then attached — best-of-k each, and reports the
+// wall-time overhead plus proof (transcript digest equality) that the
+// recorder observed the run without perturbing it.
+func flightBenchmarks(stderr io.Writer, quick bool, seed int64) ([]report.FlightMeasurement, error) {
+	pt := expt.ScalePoint{N: 100_000, Size: 1000, AvgDeg: 12}
+	if quick {
+		pt = expt.ScalePoint{N: 5_000, Size: 300, AvgDeg: 10}
+	}
+	const reps = 5
+	inst := expt.ScaleInstance(pt, seed)
+	inst.Graph.CSR()
+	name := fmt.Sprintf("flight/planted-n%d", pt.N)
+	var out []report.FlightMeasurement
+	for _, eng := range []nearclique.Engine{nearclique.EngineSequential, nearclique.EngineSharded} {
+		m := report.FlightMeasurement{
+			Workload:    name,
+			Engine:      eng.String(),
+			GraphDigest: inst.Graph.Digest(),
+			N:           inst.Graph.N(),
+			M:           inst.Graph.M(),
+			Capacity:    nearclique.DefaultFlightCapacity,
+		}
+		var offTr, onTr string
+		for _, on := range []bool{false, true} {
+			fmt.Fprintf(stderr, "bench: %s %s recorder=%v...\n", name, m.Engine, on)
+			for i := 0; i < reps; i++ {
+				opts := []nearclique.Option{
+					nearclique.WithEngine(eng),
+					nearclique.WithEpsilon(expt.ScaleEps),
+					nearclique.WithExpectedSample(4 * float64(pt.N) / float64(pt.Size)),
+					nearclique.WithMinSize(pt.Size / 4),
+					nearclique.WithSeed(seed + 1),
+				}
+				var rec *nearclique.FlightRecorder
+				if on {
+					rec = nearclique.NewFlightRecorder(nearclique.DefaultFlightCapacity)
+					opts = append(opts, nearclique.WithFlightRecorder(rec))
+				}
+				solver, err := nearclique.New(opts...)
+				if err != nil {
+					return nil, err
+				}
+				runtime.GC()
+				start := time.Now()
+				res, err := solver.Solve(context.Background(), inst.Graph)
+				wall := time.Since(start).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", name, m.Engine, err)
+				}
+				tr := solveTranscript(res)
+				if on {
+					if i == 0 || wall < m.OnWallNS {
+						m.OnWallNS = wall
+						m.Rounds = int64(res.Metrics.Rounds)
+						m.EventsOffered = rec.Offered()
+						m.EventsDropped = rec.Dropped()
+					}
+					onTr = tr
+				} else {
+					if i == 0 || wall < m.OffWallNS {
+						m.OffWallNS = wall
+					}
+					offTr = tr
+				}
+			}
+		}
+		m.DigestsMatch = offTr != "" && offTr == onTr
+		if m.OffWallNS > 0 {
+			m.OverheadPct = round2(100 * float64(m.OnWallNS-m.OffWallNS) / float64(m.OffWallNS))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// solveTranscript digests the deterministic surface of a result — costs,
+// sample sizes, and candidates, everything but wall time — so two runs
+// can be compared for bit-identity.
+func solveTranscript(res *nearclique.Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "rounds=%d frames=%d bits=%d maxframe=%d\n",
+		res.Metrics.Rounds, res.Metrics.Frames, res.Metrics.Bits, res.Metrics.MaxFrameBits)
+	fmt.Fprintf(h, "samples=%v\n", res.SampleSizes)
+	for _, c := range res.Candidates {
+		fmt.Fprintf(h, "cand label=%d ver=%d density=%.9f members=%v x=%v\n",
+			c.Label, c.Version, c.Density, c.Members, c.SubsetX)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// --- cost model: fit and drift gate --------------------------------------
+
+// costDriftLimit is the CI gate: the committed model's predicted wall
+// time must stay within this factor of the observed one in either
+// direction.
+const costDriftLimit = 3.0
+
+// costFitSeeds is how many coin seeds each (point, engine) cell of the
+// fit grid observes; 2 points × 4 seeds clears the model's per-engine
+// minimum-sample gate even in -quick mode.
+const costFitSeeds = 4
+
+var costEngines = []nearclique.Engine{nearclique.EngineSequential, nearclique.EngineSharded}
+
+// costPoints is the fixed fit/check grid. The full grid is a superset of
+// the quick one, so a committed model fitted full always has the quick
+// points in-distribution for the CI check.
+func costPoints(quick bool) []expt.ScalePoint {
+	pts := []expt.ScalePoint{
+		{N: 2_000, Size: 150, AvgDeg: 8},
+		{N: 5_000, Size: 300, AvgDeg: 10},
+	}
+	if !quick {
+		pts = append(pts,
+			expt.ScalePoint{N: 10_000, Size: 400, AvgDeg: 12},
+			expt.ScalePoint{N: 50_000, Size: 800, AvgDeg: 12},
+		)
+	}
+	return pts
+}
+
+// costSolve runs one grid solve and returns the features the server
+// would price it by, the result, and the wall time.
+func costSolve(g *nearclique.Graph, pt expt.ScalePoint, eng nearclique.Engine, seed int64) (costmodel.Features, *nearclique.Result, int64, error) {
+	sample := 4 * float64(pt.N) / float64(pt.Size)
+	feat := costmodel.Features{
+		Engine:   eng.String(),
+		N:        g.N(),
+		M:        g.M(),
+		Epsilon:  expt.ScaleEps,
+		Sample:   sample,
+		Versions: 1,
+	}
+	solver, err := nearclique.New(
+		nearclique.WithEngine(eng),
+		nearclique.WithEpsilon(expt.ScaleEps),
+		nearclique.WithExpectedSample(sample),
+		nearclique.WithMinSize(pt.Size/4),
+		nearclique.WithSeed(seed),
+	)
+	if err != nil {
+		return feat, nil, 0, err
+	}
+	start := time.Now()
+	res, err := solver.Solve(context.Background(), g)
+	wall := time.Since(start).Nanoseconds()
+	if err != nil {
+		return feat, nil, 0, fmt.Errorf("costfit %s n=%d: %w", eng, pt.N, err)
+	}
+	return feat, res, wall, nil
+}
+
+// costFitGrid solves the fixed grid and fits the admission cost model on
+// the observed (rounds, bytes, wall) triples — the COSTMODEL.json
+// generator.
+func costFitGrid(stderr io.Writer, quick bool, seed int64) (*costmodel.Model, error) {
+	model := costmodel.New()
+	for _, pt := range costPoints(quick) {
+		inst := expt.ScaleInstance(pt, seed)
+		inst.Graph.CSR()
+		for _, eng := range costEngines {
+			fmt.Fprintf(stderr, "bench: costfit %s n=%d...\n", eng, pt.N)
+			for i := 0; i < costFitSeeds; i++ {
+				feat, res, wall, err := costSolve(inst.Graph, pt, eng, seed+1+int64(i))
+				if err != nil {
+					return nil, err
+				}
+				model.Observe(feat, int64(res.Metrics.Rounds), int64(res.Metrics.Bits)/8, wall)
+			}
+		}
+	}
+	return model, nil
+}
+
+// costCheck is the CI drift gate: re-solve the fixed grid with the SAME
+// coin seeds the fit observed and compare the geometric mean of observed
+// wall times against the committed model's prediction. Solves are
+// deterministic per seed, so re-solving the fit seeds replays the exact
+// same work — per-seed work variance (15x at n=5·10⁴, from how many
+// leaders the coins sample and how big their neighborhoods are) cancels,
+// and the ratio isolates actual engine cost changes. Each seed takes the
+// best of two runs to shed scheduler noise. A >costDriftLimit ratio in
+// either direction fails — the committed pricing artifact must be
+// regenerated when the engines' cost structure actually changes.
+func costCheck(stderr io.Writer, quick bool, seed int64, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading cost model: %w (generate with -costfit)", err)
+	}
+	model := costmodel.New()
+	if err := json.Unmarshal(blob, model); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	failed := false
+	for _, pt := range costPoints(quick) {
+		inst := expt.ScaleInstance(pt, seed)
+		inst.Graph.CSR()
+		for _, eng := range costEngines {
+			var logSum float64
+			var feat costmodel.Features
+			for i := 0; i < costFitSeeds; i++ {
+				var best int64
+				for rep := 0; rep < 2; rep++ {
+					f, _, wall, err := costSolve(inst.Graph, pt, eng, seed+1+int64(i))
+					if err != nil {
+						return err
+					}
+					if rep == 0 || wall < best {
+						best = wall
+					}
+					feat = f
+				}
+				logSum += math.Log(float64(best))
+			}
+			observed := math.Exp(logSum / costFitSeeds)
+			pred := model.Predict(feat)
+			if !pred.Reliable() {
+				return fmt.Errorf("no reliable %s prediction in %s (samples=%d): refit with -costfit",
+					eng, path, pred.Samples)
+			}
+			ratio := observed / pred.NS
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			status := "ok"
+			if ratio > costDriftLimit {
+				status = "DRIFT"
+				failed = true
+			}
+			fmt.Fprintf(stderr, "bench: costcheck %s n=%d predicted=%.2fms observed=%.2fms ratio=%.2f %s\n",
+				eng, pt.N, pred.NS/1e6, observed/1e6, ratio, status)
+		}
+	}
+	if failed {
+		return fmt.Errorf("cost model drifted more than %gx from observed wall time; regenerate with -costfit and review what changed",
+			costDriftLimit)
+	}
+	return nil
+}

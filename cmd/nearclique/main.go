@@ -56,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		refineFl = fs.String("refine", "", `refinement post-pass: "near[:eps]" or "quasi:gamma", optionally ",moves=N,pool=N" (empty = off)`)
 		async    = fs.Bool("async", false, "deprecated: same as -engine async")
 		timeout  = fs.Duration("timeout", 0, "cancel the run after this long (0 = no deadline)")
+		trace    = fs.Int("trace", 0, "record up to N per-round flight events and dump them after the run (0 = off)")
 		jsonOut  = fs.Bool("json", false, "emit the machine-readable result schema shared with cmd/bench")
 		quiet    = fs.Bool("q", false, "print only the summary line")
 		version  = fs.Bool("version", false, "print version and exit")
@@ -118,6 +119,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		opts = append(opts, nearclique.WithRefine(spec))
 	}
+	var rec *nearclique.FlightRecorder
+	if *trace < 0 {
+		fmt.Fprintln(stderr, "nearclique: -trace must be >= 0")
+		return 2
+	}
+	if *trace > 0 {
+		rec = nearclique.NewFlightRecorder(*trace)
+		opts = append(opts, nearclique.WithFlightRecorder(rec))
+	}
 	solver, err := nearclique.New(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "nearclique:", err)
@@ -136,8 +146,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	wall := time.Since(start)
 
 	if *jsonOut {
-		rec := report.FromResult(engine.String(), g, res, wall, solveErr)
-		enc, err := json.MarshalIndent(rec, "", "  ")
+		run := report.FromResult(engine.String(), g, res, wall, solveErr)
+		run.Flight = report.FlightFromRecorder(rec, *trace)
+		enc, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, "nearclique:", err)
 			return 1
@@ -172,6 +183,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintln(stdout)
+	if rec != nil {
+		dumpTrace(stdout, rec)
+	}
 	if *quiet {
 		return 0
 	}
@@ -187,6 +201,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// dumpTrace prints the flight-recorder contents: a one-line accounting
+// summary (an explicitly asked-for trace always reports what it kept and
+// what the ring shed) followed by one line per retained event, oldest
+// first.
+func dumpTrace(w io.Writer, rec *nearclique.FlightRecorder) {
+	events := rec.Snapshot()
+	fmt.Fprintf(w, "trace: events=%d offered=%d dropped=%d\n",
+		len(events), rec.Offered(), rec.Dropped())
+	for _, ev := range events {
+		fmt.Fprintf(w, "  [%s] phase=%s round=%d frontier=%d frames=%d bytes=%d",
+			ev.Kind, rec.PhaseName(ev.Phase), ev.Round, ev.Frontier, ev.Frames, ev.Bytes)
+		if ev.HeapDelta != 0 {
+			fmt.Fprintf(w, " heapΔ=%+d", ev.HeapDelta)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // resolveEngine merges the -engine flag with the deprecated -mode/-async

@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -68,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 		cacheMB     = fs.Int64("cache-mb", 32, "result-cache budget in MiB (0 disables)")
 		timeout     = fs.Duration("timeout", time.Minute, "default per-request deadline incl. queue wait (0 = none; requests may set timeout_ms)")
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain may take before connections are force-closed")
+		costPath    = fs.String("costmodel", "", "cost-model JSON file: seeded at startup if present, saved back on clean shutdown (empty = in-memory only)")
+		cheap       = fs.Duration("cheap", 10*time.Millisecond, "predicted-wall-time threshold for the admission fast path (0 disables)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Func("load", "register a graph at startup as name=path (repeatable; .ncsr is memory-mapped)", func(v string) error {
@@ -93,14 +96,55 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 	if queueDepth == 0 {
 		queueDepth = -1 // explicit no-queue mode; Config treats 0 as "default"
 	}
+	cheapNS := int64(*cheap)
+	if *cheap == 0 {
+		cheapNS = -1 // explicit off; Config treats 0 as "default"
+	}
 	srv := server.New(server.Config{
 		Concurrency:    *concurrency,
 		QueueDepth:     queueDepth,
 		CacheBytes:     cacheBytes,
 		DefaultTimeout: *timeout,
+		CheapSolveNS:   cheapNS,
 		Version:        buildinfo.String("nearcliqued"),
 	})
 	defer srv.Close()
+
+	// Seed the admission cost model from a committed artifact so a fresh
+	// daemon prices requests from the first one; it keeps training from
+	// live traffic either way and writes the refreshed fit back on clean
+	// shutdown.
+	if *costPath != "" {
+		switch blob, err := os.ReadFile(*costPath); {
+		case err == nil:
+			if err := json.Unmarshal(blob, srv.CostModel()); err != nil {
+				fmt.Fprintf(stderr, "nearcliqued: %s: %v\n", *costPath, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "nearcliqued: cost model seeded from %s (%d samples)\n",
+				*costPath, srv.CostModel().Samples())
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(stderr, "nearcliqued: cost model starting cold (%s not found)\n", *costPath)
+		default:
+			fmt.Fprintln(stderr, "nearcliqued:", err)
+			return 1
+		}
+	}
+	saveCostModel := func() {
+		if *costPath == "" {
+			return
+		}
+		blob, err := json.MarshalIndent(srv.CostModel(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*costPath, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "nearcliqued: saving cost model: %v\n", err)
+			return
+		}
+		fmt.Fprintf(stderr, "nearcliqued: cost model saved to %s (%d samples)\n",
+			*costPath, srv.CostModel().Samples())
+	}
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
@@ -161,6 +205,7 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 			return 1
 		}
 		srv.Drain()
+		saveCostModel()
 		fmt.Fprintln(stderr, "nearcliqued: drained, exiting")
 		return 0
 	}

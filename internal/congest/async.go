@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"nearclique/internal/flight"
 )
 
 // This file implements an asynchronous executor with Awerbuch's
@@ -98,6 +100,11 @@ type asyncEngine struct {
 	// lastSends tracks each Context's cumulative send count so new
 	// enqueues by Recv/PhaseStart can be charged to outstanding.
 	lastSends []int
+
+	// lastFrames/lastBits checkpoint the network metrics at the previous
+	// flight round event, so each event carries that virtual round's
+	// traffic delta. Only maintained when a recorder is attached.
+	lastFrames, lastBits int
 }
 
 func newAsyncEngine(net *Network) *asyncEngine {
@@ -172,6 +179,7 @@ func (e *asyncEngine) runPhase(ctx context.Context, name string) error {
 	}
 
 	maxRound := int32(0)
+	e.lastFrames, e.lastBits = net.metrics.Frames, net.metrics.Bits
 	for processed := 0; e.outstanding > 0 && e.queue.Len() > 0; processed++ {
 		if processed%asyncCtxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -190,6 +198,20 @@ func (e *asyncEngine) runPhase(ctx context.Context, name string) error {
 		}
 		if r := e.nodes[ev.to].round; r > maxRound {
 			maxRound = r
+			// One flight round event per increment of the global maximum
+			// node round — the async analogue of a synchronous round; the
+			// frontier is the synchronizer's pending event count.
+			if net.flight != nil {
+				net.flight.Record(flight.Event{
+					Kind:     flight.KindRound,
+					Phase:    net.flightPhase,
+					Round:    int64(net.metrics.Rounds) + int64(maxRound),
+					Frontier: clampInt32(e.queue.Len()),
+					Frames:   int64(net.metrics.Frames - e.lastFrames),
+					Bytes:    int64(net.metrics.Bits-e.lastBits) / 8,
+				})
+				e.lastFrames, e.lastBits = net.metrics.Frames, net.metrics.Bits
+			}
 			if net.opts.MaxRounds > 0 && net.metrics.Rounds+int(maxRound) > net.opts.MaxRounds {
 				return fmt.Errorf("%w: %d node-rounds (phase %s)", ErrRoundLimit,
 					net.metrics.Rounds+int(maxRound), name)

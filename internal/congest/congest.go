@@ -41,6 +41,7 @@ import (
 	"sort"
 	"sync"
 
+	"nearclique/internal/flight"
 	"nearclique/internal/graph"
 )
 
@@ -114,6 +115,12 @@ type Options struct {
 	// AsyncMaxDelay bounds per-message delivery delay in virtual time
 	// units (default 5). Only meaningful with Async.
 	AsyncMaxDelay int
+	// Flight, if non-nil, receives one flight.KindRound event per executed
+	// round and one flight.KindPhase summary per phase. Recording is purely
+	// observational — it reads metrics the executors maintain anyway and
+	// never touches protocol state or any RNG stream — so outputs and
+	// transcripts are identical with or without it.
+	Flight *flight.Recorder
 }
 
 // PhaseMetrics aggregates per-phase costs.
@@ -175,6 +182,9 @@ type Network struct {
 	workers      int
 	async        *asyncEngine   // non-nil when Options.Async is set
 	sharded      *shardedEngine // non-nil when the sharded engine drives
+
+	flight      *flight.Recorder // optional round/phase event sink
+	flightPhase int32            // current phase's BeginPhase ordinal
 }
 
 type delivery struct {
@@ -263,6 +273,7 @@ func NewNetwork(g *graph.Graph, opts Options, procFor func(ctx *Context) Proc) *
 	if net.workers <= 0 {
 		net.workers = runtime.GOMAXPROCS(0)
 	}
+	net.flight = opts.Flight
 	total := csr.NumEdges()
 	net.queues = make([]fifo, total)
 	net.activeFlag = make([]bool, total)
@@ -445,12 +456,42 @@ func (net *Network) RunPhase(name string) error {
 // callers observe context.Canceled or context.DeadlineExceeded through
 // errors.Is; metrics accumulated up to the interrupted round remain valid.
 func (net *Network) RunPhaseContext(ctx context.Context, name string) error {
+	if net.flight == nil {
+		return net.runPhaseDispatch(ctx, name)
+	}
+	// Flight recording wraps the dispatch symmetrically for every engine:
+	// the phase summary is the metrics delta across the phase plus the
+	// live-heap delta at its boundaries (the only place heap is sampled —
+	// per-round sampling would dwarf small rounds). On an interrupted phase
+	// the partial deltas are still recorded; they are valid observations.
+	net.flightPhase = net.flight.BeginPhase(name)
+	before := net.metrics
+	heap0 := flight.HeapBytes()
+	err := net.runPhaseDispatch(ctx, name)
+	net.flight.Record(flight.Event{
+		Kind:      flight.KindPhase,
+		Phase:     net.flightPhase,
+		Round:     int64(net.metrics.Rounds - before.Rounds),
+		Frames:    int64(net.metrics.Frames - before.Frames),
+		Bytes:     int64(net.metrics.Bits-before.Bits) / 8,
+		HeapDelta: flight.HeapBytes() - heap0,
+	})
+	return err
+}
+
+// runPhaseDispatch routes one phase to the configured executor.
+func (net *Network) runPhaseDispatch(ctx context.Context, name string) error {
 	if net.async != nil {
 		return net.async.runPhase(ctx, name)
 	}
 	if net.sharded != nil {
 		return net.sharded.runPhase(ctx, name)
 	}
+	return net.runPhaseLegacy(ctx, name)
+}
+
+// runPhaseLegacy is the reference per-round-scan executor's phase loop.
+func (net *Network) runPhaseLegacy(ctx context.Context, name string) error {
 	net.metrics.Phases = append(net.metrics.Phases, PhaseMetrics{Name: name})
 	net.currentPhase = &net.metrics.Phases[len(net.metrics.Phases)-1]
 
@@ -471,6 +512,31 @@ func (net *Network) RunPhaseContext(ctx context.Context, name string) error {
 	}
 	net.currentPhase = nil
 	return nil
+}
+
+// recordRound emits one KindRound flight event for the round that just
+// completed; frontier is the active directed-edge count at the round's
+// start, frames/bits the traffic it delivered. No-op without a recorder.
+func (net *Network) recordRound(frontier, frames, bits int) {
+	if net.flight == nil {
+		return
+	}
+	net.flight.Record(flight.Event{
+		Kind:     flight.KindRound,
+		Phase:    net.flightPhase,
+		Round:    int64(net.metrics.Rounds),
+		Frontier: clampInt32(frontier),
+		Frames:   int64(frames),
+		Bytes:    int64(bits) / 8,
+	})
+}
+
+// clampInt32 saturates an int into an int32 event field.
+func clampInt32(x int) int32 {
+	if x > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	return int32(x)
 }
 
 // phaseInterrupted wraps a context error observed at a round boundary.
@@ -514,6 +580,7 @@ func (net *Network) stepRound() {
 	net.metrics.Bits += bitsTotal
 	net.currentPhase.Frames += frames
 	net.currentPhase.Bits += bitsTotal
+	net.recordRound(len(edges), frames, bitsTotal)
 
 	touched := net.touched
 	net.parallelNodes(len(touched), func(i int) {

@@ -170,9 +170,11 @@ func (e *shardedEngine) runPhase(ctx context.Context, name string) error {
 		if e.dense && e.cur == nil {
 			e.cur = make([]Message, e.csr.NumEdges())
 		}
+		framesBefore, bitsBefore := net.metrics.Frames, net.metrics.Bits
 		e.step(opAdvance, active)
 		e.reduceMetrics()
 		e.step(opDeliver, active)
+		net.recordRound(active, net.metrics.Frames-framesBefore, net.metrics.Bits-bitsBefore)
 	}
 	net.currentPhase = nil
 	return nil

@@ -63,6 +63,7 @@ func FindContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, er
 		Engine:        opts.Engine,
 		Async:         opts.Async,
 		AsyncMaxDelay: opts.AsyncMaxDelay,
+		Flight:        opts.Flight,
 	}, func(ctx *congest.Context) congest.Proc {
 		nd := newNode(d, ctx)
 		d.nodes[ctx.Index()] = nd

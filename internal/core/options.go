@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"nearclique/internal/congest"
+	"nearclique/internal/flight"
 	"nearclique/internal/graph"
 	"nearclique/internal/refine"
 )
@@ -89,6 +90,12 @@ type Options struct {
 	// serving-side liveness. It adds no work when nil and never changes
 	// outputs.
 	Progress func(Progress)
+	// Flight, if non-nil, receives flight events as the run executes: the
+	// CONGEST executors emit one event per round plus one summary per
+	// phase, the sequential replay one summary per boosting version plus
+	// the decision stage (it simulates no rounds). Purely observational —
+	// attaching a recorder never changes outputs or transcripts.
+	Flight *flight.Recorder
 }
 
 // Progress describes one completed protocol step, reported through

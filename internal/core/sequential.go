@@ -6,6 +6,7 @@ import (
 
 	"nearclique/internal/bitset"
 	"nearclique/internal/congest"
+	"nearclique/internal/flight"
 	"nearclique/internal/graph"
 )
 
@@ -57,6 +58,26 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 	scratch := getSeqScratch()
 	defer putSeqScratch(scratch)
 	rngs := scratch.bank.Rands(opts.Seed, n)
+
+	// The sequential replay simulates no rounds, so its flight trace is
+	// phase summaries only: one per boosting version (Frontier carries the
+	// version's sample size |S|) plus one for the decision stage, each
+	// with the live-heap delta across the step.
+	recordStep := func(name string, frontier int) {}
+	if opts.Flight != nil {
+		heapMark := flight.HeapBytes()
+		recordStep = func(name string, frontier int) {
+			now := flight.HeapBytes()
+			ord := opts.Flight.BeginPhase(name)
+			opts.Flight.Record(flight.Event{
+				Kind:      flight.KindPhase,
+				Phase:     ord,
+				Frontier:  int32(frontier),
+				HeapDelta: now - heapMark,
+			})
+			heapMark = now
+		}
+	}
 
 	var comps []*seqComp
 	p1 := opts.P / 2
@@ -134,6 +155,7 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 			}
 			comps = append(comps, sc)
 		}
+		recordStep(fmt.Sprintf("v%d/explore", ver), res.SampleSizes[ver])
 		if opts.Progress != nil {
 			opts.Progress(Progress{
 				Version: ver, Phase: fmt.Sprintf("v%d/explore", ver),
@@ -195,6 +217,7 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 		})
 	}
 	res.Candidates = finalizeCandidates(g, out)
+	recordStep("decide", len(comps))
 	if opts.Progress != nil {
 		opts.Progress(Progress{
 			Version: -1, Phase: "decide",

@@ -1,0 +1,170 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	cases := []struct{ ask, want int }{
+		{0, DefaultCapacity},
+		{-5, DefaultCapacity},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{1000, 1024},
+		{1024, 1024},
+		{1025, 2048},
+		{maxCapacity + 1, maxCapacity},
+	}
+	for _, c := range cases {
+		if got := New(c.ask).Capacity(); got != c.want {
+			t.Errorf("New(%d).Capacity() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestRecordRetainsMostRecent(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindRound, Round: int64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Round != want {
+			t.Errorf("event %d: Round = %d, want %d (most recent window)", i, ev.Round, want)
+		}
+		if ev.Seq != uint64(6+i) {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, 6+i)
+		}
+	}
+	if r.Offered() != 10 {
+		t.Errorf("Offered = %d, want 10", r.Offered())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6 (overwritten)", r.Dropped())
+	}
+}
+
+func TestExactAccountingSequential(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		r.Record(Event{Kind: KindRound, Round: int64(i)})
+	}
+	if got, want := r.Offered(), uint64(1000); got != want {
+		t.Fatalf("Offered = %d, want %d", got, want)
+	}
+	if got := r.Dropped() + uint64(r.Retained()); got != r.Offered() {
+		t.Fatalf("dropped+retained = %d, want offered = %d", got, r.Offered())
+	}
+}
+
+// TestExactAccountingConcurrent hammers one small ring from many
+// goroutines (the shape a SolveBatch sharing a recorder produces) and
+// checks the exactness invariant: every offered event is either retained
+// or counted dropped, with nothing double-counted. Run under -race this
+// also proves the slot protocol publishes Event fields safely.
+func TestExactAccountingConcurrent(t *testing.T) {
+	r := New(64)
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(Event{Kind: KindRound, Round: int64(w*perWriter + i), Frames: 1, Bytes: 8})
+			}
+		}(w)
+	}
+	// A concurrent snapshotter must not break accounting either.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got, want := r.Offered(), uint64(writers*perWriter); got != want {
+		t.Fatalf("Offered = %d, want %d", got, want)
+	}
+	retained := uint64(r.Retained())
+	if got := r.Dropped() + retained; got != r.Offered() {
+		t.Fatalf("dropped(%d)+retained(%d) = %d, want offered = %d",
+			r.Dropped(), retained, got, r.Offered())
+	}
+	if retained > uint64(r.Capacity()) {
+		t.Fatalf("retained %d exceeds capacity %d", retained, r.Capacity())
+	}
+	// Seq values in a snapshot are unique and ascending.
+	evs := r.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot not strictly Seq-ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	r := New(8)
+	a := r.BeginPhase("sample")
+	b := r.BeginPhase("vote")
+	if a != 0 || b != 1 {
+		t.Fatalf("ordinals = %d,%d, want 0,1", a, b)
+	}
+	if got := r.PhaseName(a); got != "sample" {
+		t.Errorf("PhaseName(%d) = %q, want sample", a, got)
+	}
+	if got := r.PhaseName(-1); got != "?" {
+		t.Errorf("PhaseName(-1) = %q, want ?", got)
+	}
+	if got := r.PhaseName(99); got != "?" {
+		t.Errorf("PhaseName(99) = %q, want ?", got)
+	}
+	if ph := r.Phases(); len(ph) != 2 || ph[0] != "sample" || ph[1] != "vote" {
+		t.Errorf("Phases() = %v", ph)
+	}
+}
+
+func TestPhaseTableCap(t *testing.T) {
+	r := New(8)
+	for i := 0; i < maxPhases; i++ {
+		if ord := r.BeginPhase("p"); ord != int32(i) {
+			t.Fatalf("ordinal %d at insert %d", ord, i)
+		}
+	}
+	if ord := r.BeginPhase("overflow"); ord != -1 {
+		t.Fatalf("overflow ordinal = %d, want -1", ord)
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	if got := HeapBytes(); got <= 0 {
+		t.Fatalf("HeapBytes() = %d, want > 0", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRound.String() != "round" || KindPhase.String() != "phase" || Kind(0).String() != "?" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := New(1024)
+	ev := Event{Kind: KindRound, Round: 1, Frontier: 100, Frames: 50, Bytes: 4000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Round = int64(i)
+		r.Record(ev)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nearclique/internal/core"
+	"nearclique/internal/flight"
 	"nearclique/internal/graph"
 )
 
@@ -74,7 +75,69 @@ type Run struct {
 	RefinedDensity float64            `json:"refined_density,omitempty"`
 	RefineMoves    int                `json:"refine_moves,omitempty"`
 	Refined        []RefinedCandidate `json:"refined,omitempty"`
-	Error          string             `json:"error,omitempty"`
+	// Flight is the run's flight-recorder sample: the trailing window of
+	// per-round/per-phase events, present only when the caller attached a
+	// recorder and asked for it (cmd/nearclique -trace; the server's
+	// opt-in flight request parameter). The cost numbers above stay the
+	// source of truth — Flight is the per-round breakdown behind them.
+	Flight *FlightSample `json:"flight,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// FlightEvent is one flight-recorder observation in the wire schema:
+// either one simulated round or one completed phase summary (Kind
+// "round" | "phase"); see the flight package for field semantics.
+type FlightEvent struct {
+	Kind     string `json:"kind"`
+	Phase    string `json:"phase"`
+	Round    int64  `json:"round,omitempty"`
+	Frontier int32  `json:"frontier,omitempty"`
+	Frames   int64  `json:"frames,omitempty"`
+	// Bytes is payload bytes, matching Cost.PayloadBytes granularity.
+	Bytes     int64 `json:"payload_bytes,omitempty"`
+	HeapDelta int64 `json:"heap_delta,omitempty"`
+}
+
+// FlightSample is a recorder snapshot: exact accounting totals plus the
+// trailing event window (capped by the caller; Truncated reports how
+// many retained events the cap cut).
+type FlightSample struct {
+	Capacity  int           `json:"capacity"`
+	Offered   uint64        `json:"offered"`
+	Dropped   uint64        `json:"dropped"`
+	Truncated int           `json:"truncated,omitempty"`
+	Events    []FlightEvent `json:"events"`
+}
+
+// FlightFromRecorder snapshots a recorder into the wire schema, keeping
+// at most maxEvents of the most recent events (0 means all retained).
+func FlightFromRecorder(rec *flight.Recorder, maxEvents int) *FlightSample {
+	if rec == nil {
+		return nil
+	}
+	evs := rec.Snapshot()
+	s := &FlightSample{
+		Capacity: rec.Capacity(),
+		Offered:  rec.Offered(),
+		Dropped:  rec.Dropped(),
+	}
+	if maxEvents > 0 && len(evs) > maxEvents {
+		s.Truncated = len(evs) - maxEvents
+		evs = evs[len(evs)-maxEvents:]
+	}
+	s.Events = make([]FlightEvent, len(evs))
+	for i, ev := range evs {
+		s.Events[i] = FlightEvent{
+			Kind:      ev.Kind.String(),
+			Phase:     rec.PhaseName(ev.Phase),
+			Round:     ev.Round,
+			Frontier:  ev.Frontier,
+			Frames:    ev.Frames,
+			Bytes:     ev.Bytes,
+			HeapDelta: ev.HeapDelta,
+		}
+	}
+	return s
 }
 
 // Measurement is the cmd/bench record: one timed workload on one engine,
@@ -122,6 +185,27 @@ type RefineMeasurement struct {
 	RecoveredPct       float64 `json:"recovered_pct,omitempty"`
 	SolveWallNS        int64   `json:"solve_wall_ns"`
 	RefineWallNS       int64   `json:"refine_wall_ns"`
+}
+
+// FlightMeasurement is the cmd/bench -flight record (BENCH_flight.json):
+// one workload solved with the flight recorder detached and attached,
+// best-of-k each, pinning the recorder's overhead. Transcript digests of
+// the two runs must match — recording is observational by contract — and
+// OverheadPct is the on-vs-off wall-time delta the <2% budget gates.
+type FlightMeasurement struct {
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"`
+	GraphDigest   string  `json:"graph_digest,omitempty"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Capacity      int     `json:"capacity"`
+	OffWallNS     int64   `json:"off_wall_ns"`
+	OnWallNS      int64   `json:"on_wall_ns"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	Rounds        int64   `json:"rounds"`
+	EventsOffered uint64  `json:"events_offered"`
+	EventsDropped uint64  `json:"events_dropped"`
+	DigestsMatch  bool    `json:"digests_match"`
 }
 
 // LoadMeasurement is the cmd/bench -load record (BENCH_graph.json): one
@@ -202,18 +286,64 @@ func FromResult(engine string, g *graph.Graph, res *core.Result, wall time.Durat
 // rest of this package it is the stable machine-readable schema —
 // monitoring scrapes parse it, so fields are only ever added.
 type ServerStats struct {
-	UptimeSec     float64      `json:"uptime_sec"`
-	Version       string       `json:"version,omitempty"`
-	GoVersion     string       `json:"go_version"`
-	Draining      bool         `json:"draining"`
-	Concurrency   int          `json:"concurrency"`
-	QueueDepth    int          `json:"queue_depth"`    // jobs waiting, excluding running
-	QueueCapacity int          `json:"queue_capacity"` // waiting-slot budget (429 beyond it)
-	InFlight      int          `json:"in_flight"`      // jobs running right now
-	Accepted      int64        `json:"accepted"`       // jobs admitted since start
-	Rejected      int64        `json:"rejected_429"`   // jobs refused queue-full
+	UptimeSec     float64 `json:"uptime_sec"`
+	Version       string  `json:"version,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	Draining      bool    `json:"draining"`
+	Concurrency   int     `json:"concurrency"`
+	QueueDepth    int     `json:"queue_depth"`    // jobs waiting, excluding running
+	QueueCapacity int     `json:"queue_capacity"` // waiting-slot budget (429 beyond it)
+	InFlight      int     `json:"in_flight"`      // jobs running right now
+	// Admission ledger. The counters reconcile exactly on every path
+	// (solve and batch alike): Received == Accepted + Rejected + Refused,
+	// with Accepted including the fast-path jobs that bypassed the wait
+	// queue. Cache hits never enter this ledger — they answer without
+	// submitting a job.
+	Received int64 `json:"received"`     // submission attempts since start
+	Accepted int64 `json:"accepted"`     // jobs admitted since start
+	Rejected int64 `json:"rejected_429"` // jobs refused queue-full
+	Refused  int64 `json:"refused_503"`  // jobs refused while draining
+	FastPath int64 `json:"fast_path"`    // accepted jobs that bypassed the queue (cheap predicted cost)
+	// Executed-job wall-time aggregate: the basis of the computed
+	// Retry-After. Only actually executed solves count — cached replays
+	// would drag the mean toward zero.
+	JobsDone      int64        `json:"jobs_done"`
+	MeanJobMS     float64      `json:"mean_job_ms"`
+	RetryAfterSec int          `json:"retry_after_sec"` // what a 429 would advise right now
 	Cache         CacheStats   `json:"cache"`
+	Flight        *FlightStats `json:"flight,omitempty"`
+	CostModel     *CostStats   `json:"cost_model,omitempty"`
 	Graphs        []GraphStats `json:"graphs"`
+}
+
+// FlightStats is the /statz flight section: the aggregate over every
+// traced solve (requests that opted in with the flight parameter) plus
+// the trailing event window of the most recent one.
+type FlightStats struct {
+	SolvesTraced  int64         `json:"solves_traced"`
+	EventsOffered uint64        `json:"events_offered"`
+	EventsDropped uint64        `json:"events_dropped"`
+	Rounds        int64         `json:"rounds"`
+	Frames        int64         `json:"frames"`
+	PayloadBytes  int64         `json:"payload_bytes"`
+	Recent        []FlightEvent `json:"recent,omitempty"`
+}
+
+// CostEngine is one engine's fitted cost-model state as served from
+// /statz: de-logged per-unit rates (see internal/costmodel).
+type CostEngine struct {
+	Engine       string  `json:"engine"`
+	Samples      int64   `json:"samples"`
+	NSPerWork    float64 `json:"ns_per_work"`
+	WorkExponent float64 `json:"work_exponent,omitempty"`
+	RoundsPerVer float64 `json:"rounds_per_version,omitempty"`
+	BytesPerWork float64 `json:"bytes_per_work,omitempty"`
+}
+
+// CostStats is the /statz cost-model section.
+type CostStats struct {
+	Samples int64        `json:"samples"`
+	Engines []CostEngine `json:"engines,omitempty"`
 }
 
 // CacheStats describes the daemon's deterministic result cache.

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"nearclique"
+	"nearclique/internal/costmodel"
+	"nearclique/internal/flight"
 	"nearclique/internal/report"
 )
 
@@ -49,6 +51,12 @@ type SolveRequest struct {
 	// no refinement. Equivalent spellings canonicalize to one cache key.
 	Refine    string `json:"refine,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Flight opts into per-round flight tracing: the response's flight
+	// section carries up to this many trailing recorder events (capped at
+	// maxFlightEvents). Traced requests bypass the result cache — their
+	// bodies embed a per-run trace, so serving a frozen replay would lie —
+	// and therefore always execute. 0 (the default) disables tracing.
+	Flight int `json:"flight,omitempty"`
 }
 
 // BatchRequest is the /v1/batch body.
@@ -81,6 +89,12 @@ type solveParams struct {
 	refine     string
 	refineSpec nearclique.RefineSpec
 	timeout    time.Duration
+	// flight is the requested trailing-event window (0 = no tracing) and
+	// flightRec the per-request recorder the handler attaches when it is
+	// positive. Neither enters the cache key: traced requests skip the
+	// cache entirely, so the key never has to distinguish them.
+	flight    int
+	flightRec *flight.Recorder
 }
 
 // resolve canonicalizes the request. Validation beyond shape (ε range,
@@ -135,8 +149,20 @@ func (req *SolveRequest) resolve(cfg Config) (solveParams, error) {
 	} else {
 		p.timeout = cfg.DefaultTimeout
 	}
+	if req.Flight < 0 {
+		return p, fmt.Errorf("server: negative flight %d", req.Flight)
+	}
+	p.flight = req.Flight
+	if p.flight > maxFlightEvents {
+		p.flight = maxFlightEvents
+	}
 	return p, nil
 }
+
+// maxFlightEvents caps the trailing-event window a request may ask for:
+// enough to see every phase of a large solve, small enough that a trace
+// can never balloon a response body past the cache-entry scale.
+const maxFlightEvents = 512
 
 // solver builds the per-request Solver. When several solve workers run
 // concurrently, per-run simulator parallelism is capped so the workers
@@ -160,6 +186,9 @@ func (p solveParams) solver(concurrency int) (*nearclique.Solver, error) {
 	}
 	if p.refine != "" {
 		opts = append(opts, nearclique.WithRefine(p.refineSpec))
+	}
+	if p.flightRec != nil {
+		opts = append(opts, nearclique.WithFlightRecorder(p.flightRec))
 	}
 	if concurrency > 1 {
 		per := runtime.GOMAXPROCS(0) / concurrency
@@ -193,12 +222,20 @@ func cacheKey(digest string, p solveParams) string {
 }
 
 // outcome is one executed solve, ready to write: the marshaled Run body,
-// the HTTP status, and whether the body may populate the cache (only
-// complete, error-free runs are cacheable).
+// the HTTP status, whether the body may populate the cache (only
+// complete, error-free runs are cacheable), plus the raw cost facts the
+// post-run bookkeeping needs — cost-model training and the /statz
+// flight aggregate — without re-parsing the body.
 type outcome struct {
 	body      []byte
 	status    int
 	cacheable bool
+
+	wallNS       int64
+	rounds       int64
+	frames       int64
+	payloadBytes int64
+	flight       *report.FlightSample
 }
 
 // runSolve executes one solve on the calling (worker) goroutine and
@@ -214,6 +251,9 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 	res, err := solver.Solve(ctx, ent.g)
 	ent.solves.Add(1)
 	rec := report.FromResult(p.engine.String(), ent.g, res, time.Since(start), err)
+	if p.flightRec != nil {
+		rec.Flight = report.FlightFromRecorder(p.flightRec, p.flight)
+	}
 	body, merr := json.Marshal(rec)
 	if merr != nil {
 		return outcome{body: []byte(`{"error":"response encoding failed"}` + "\n"), status: http.StatusInternalServerError}
@@ -232,7 +272,11 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 		// was well-formed but this configuration cannot complete.
 		status = http.StatusUnprocessableEntity
 	}
-	return outcome{body: body, status: status, cacheable: err == nil}
+	return outcome{
+		body: body, status: status, cacheable: err == nil,
+		wallNS: rec.WallNS, rounds: int64(rec.Rounds), frames: int64(rec.Frames),
+		payloadBytes: int64(rec.PayloadBytes), flight: rec.Flight,
+	}
 }
 
 // safeSolve is runSolve behind a panic barrier. Solves run on pool
@@ -253,14 +297,24 @@ func (s *Server) safeSolve(ctx context.Context, solver *nearclique.Solver, p sol
 }
 
 // admitAndSolve pushes one solve through admission control and waits for
-// it. The deadline clock starts here — before the queue — so backpressure
-// counts against the request's budget and a queued request whose client
-// gave up costs at most one ctx.Err check when it reaches a worker.
-func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p solveParams, ent *entry) (outcome, error) {
+// it. Requests the cost model reliably prices under CheapSolveNS take
+// the fast path: they run inline on this goroutine (behind a bounded
+// semaphore) instead of waiting behind expensive queued work — priced
+// admission's payoff. Everything else queues on the worker pool. The
+// deadline clock starts here — before the queue — so backpressure counts
+// against the request's budget and a queued request whose client gave up
+// costs at most one ctx.Err check when it reaches a worker.
+func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p solveParams, ent *entry, feat costmodel.Features) (outcome, error) {
 	if p.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.timeout)
 		defer cancel()
+	}
+	if s.cheapPredicted(feat) && s.admit.tryBypass() {
+		start := time.Now()
+		out := s.safeSolve(ctx, solver, p, ent)
+		s.admit.endBypass(time.Since(start))
+		return out, nil
 	}
 	done := make(chan outcome, 1)
 	if err := s.admit.submit(func() {
@@ -269,6 +323,84 @@ func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p
 		return outcome{}, err
 	}
 	return <-done, nil
+}
+
+// cheapPredicted reports whether the cost model reliably prices this
+// request under the fast-path threshold. Unreliable predictions (too few
+// honest samples) never qualify, so a fresh server queues everything.
+func (s *Server) cheapPredicted(f costmodel.Features) bool {
+	if s.cfg.CheapSolveNS <= 0 {
+		return false
+	}
+	pred := s.cost.Predict(f)
+	return pred.Reliable() && pred.NS <= float64(s.cfg.CheapSolveNS)
+}
+
+// autoCandidates are the engines engine=auto chooses among, in
+// preference order: the sequential replay (the static default) and the
+// sharded simulator, the two serving-grade executors.
+var autoCandidates = []string{"seq", "sharded"}
+
+// resolveAuto resolves engine=auto for a request against a known graph:
+// the cost model picks the cheapest reliably-predicted engine; with too
+// few samples the static default (the sequential replay) stands and the
+// params are returned unchanged. The cache key is always built from the
+// requested canonical params — "auto" — before this resolution, so model
+// drift never splits or aliases cache entries; the first executed
+// response freezes whichever engine ran, consistent with how wall_ns is
+// frozen at first miss.
+func (s *Server) resolveAuto(p solveParams, ent *entry) solveParams {
+	if p.engine != nearclique.EngineAuto {
+		return p
+	}
+	if picked := s.cost.PickEngine(s.features("", ent, p), autoCandidates); picked != "" {
+		if eng, err := nearclique.ParseEngine(picked); err == nil {
+			p.engine = eng
+		}
+	}
+	return p
+}
+
+// executedEngineName is the canonical engine the params actually run on:
+// EngineAuto executes the sequential replay when the model makes no pick.
+func executedEngineName(e nearclique.Engine) string {
+	if e == nearclique.EngineAuto {
+		return "seq"
+	}
+	return e.String()
+}
+
+// features assembles the cost-model features for a resolved request on a
+// registered graph; engine is the canonical executed-engine name ("" for
+// a not-yet-resolved auto request being priced per candidate).
+func (s *Server) features(engine string, ent *entry, p solveParams) costmodel.Features {
+	sample := p.sample
+	if p.p > 0 {
+		sample = p.p * float64(ent.g.N())
+	}
+	return costmodel.Features{
+		Engine:   engine,
+		N:        ent.g.N(),
+		M:        ent.g.M(),
+		Epsilon:  p.eps,
+		Sample:   sample,
+		Versions: p.boost,
+		Refine:   p.refine != "",
+	}
+}
+
+// finishSolve is the post-run bookkeeping every executed solve shares,
+// on the solve and batch paths alike: honest cost-model training (clean
+// completed runs only — cache hits return before this point and failed
+// or aborted runs are excluded, so replays and pathologies can never
+// drag predicted costs) and the /statz flight aggregate for traced runs.
+func (s *Server) finishSolve(out outcome, feat costmodel.Features) {
+	if out.cacheable {
+		s.cost.Observe(feat, out.rounds, out.payloadBytes, out.wallNS)
+	}
+	if out.flight != nil {
+		s.flights.merge(out.flight, out.rounds, out.frames, out.payloadBytes)
+	}
 }
 
 // --- Handlers -----------------------------------------------------------
@@ -296,14 +428,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer ent.release()
 
 	// Cache lookup before Solver construction: the key is built from
-	// resolved values and only validated, completed runs populate it,
-	// so invalid parameters can never produce a hit — and a hit skips
-	// the option-validation allocations entirely.
+	// resolved values — for engine=auto, before model resolution, so the
+	// key is stable while the model drifts — and only validated,
+	// completed runs populate it, so invalid parameters can never
+	// produce a hit — and a hit skips the option-validation allocations
+	// entirely. Traced requests (flight > 0) bypass the lookup: their
+	// bodies embed a per-run trace a frozen replay could not honestly
+	// carry.
 	key := cacheKey(ent.digest, params)
-	if body, ok := s.cache.get(key); ok {
-		ent.hits.Add(1)
-		writeRun(w, http.StatusOK, body, "hit")
-		return
+	if params.flight == 0 {
+		if body, ok := s.cache.get(key); ok {
+			ent.hits.Add(1)
+			writeRun(w, http.StatusOK, body, "hit")
+			return
+		}
+	}
+	params = s.resolveAuto(params, ent)
+	if params.flight > 0 {
+		params.flightRec = flight.New(s.cfg.FlightCapacity)
 	}
 	solver, err := params.solver(s.cfg.Concurrency)
 	if err != nil {
@@ -311,19 +453,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, admitErr := s.admitAndSolve(r.Context(), solver, params, ent)
+	feat := s.features(executedEngineName(params.engine), ent, params)
+	out, admitErr := s.admitAndSolve(r.Context(), solver, params, ent, feat)
 	if admitErr != nil {
 		// Shed before any work: not a cache miss — /statz keeps
 		// misses == executed solves, so hit ratios stay meaningful
 		// under overload.
-		writeAdmissionError(w, admitErr)
+		s.writeAdmissionError(w, admitErr)
 		return
 	}
+	s.finishSolve(out, feat)
 	if s.cache.enabled() {
 		s.cache.recordMiss()
 		ent.misses.Add(1)
 	}
-	if out.cacheable {
+	if params.flight == 0 && out.cacheable {
 		s.cache.put(key, out.body)
 	}
 	writeRun(w, out.status, out.body, "miss")
@@ -423,7 +567,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}); err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return
 	}
 	<-done
@@ -439,10 +583,29 @@ func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveReq
 		return errorRunLine(params.engine.String(), err)
 	}
 	defer ent.release()
+	// Cache key from the requested canonical params, trace bypass, auto
+	// resolution, miss accounting, cost-model training: all mirror
+	// /v1/solve exactly, so the two paths can never disagree in /statz.
 	key := cacheKey(ent.digest, params)
-	if body, ok := s.cache.get(key); ok {
-		ent.hits.Add(1)
-		return body
+	if params.flight == 0 {
+		if body, ok := s.cache.get(key); ok {
+			ent.hits.Add(1)
+			return body
+		}
+	}
+	if resolved := s.resolveAuto(params, ent); resolved.engine != params.engine || params.flight > 0 {
+		// The solver prevalidated at batch intake assumed the static
+		// default and no recorder; rebuild it for the resolved engine
+		// and/or the per-item trace ring.
+		params = resolved
+		if params.flight > 0 {
+			params.flightRec = flight.New(s.cfg.FlightCapacity)
+		}
+		rebuilt, err := params.solver(s.cfg.Concurrency)
+		if err != nil {
+			return errorRunLine(params.engine.String(), err)
+		}
+		solver = rebuilt
 	}
 	if params.timeout > 0 {
 		var cancel context.CancelFunc
@@ -450,11 +613,12 @@ func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveReq
 		defer cancel()
 	}
 	out := s.safeSolve(ctx, solver, params, ent)
+	s.finishSolve(out, s.features(executedEngineName(params.engine), ent, params))
 	if s.cache.enabled() {
 		s.cache.recordMiss()
 		ent.misses.Add(1)
 	}
-	if out.cacheable {
+	if params.flight == 0 && out.cacheable {
 		s.cache.put(key, out.body)
 	}
 	return out.body
@@ -560,10 +724,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func writeAdmissionError(w http.ResponseWriter, err error) {
+// writeAdmissionError maps a shed to its status. A 429's Retry-After is
+// computed, not hardcoded: the estimated time for the current queue to
+// clear at the observed mean executed-job wall time (integer seconds per
+// RFC 9110, floored at 1) — a deep queue honestly advises a longer
+// back-off than an empty one.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, err)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 var (
@@ -17,14 +18,31 @@ var (
 	errDraining = errors.New("server: draining, not accepting new work")
 )
 
+// maxRetryAfterSec caps the computed Retry-After: beyond a few minutes
+// the estimate is telling the client to go away, not to retry, and an
+// unbounded value would leak the (meaningless) product of a deep queue
+// and one pathological job.
+const maxRetryAfterSec = 300
+
 // admitter is the admission controller: a fixed worker pool consuming a
-// bounded job channel. Capacity semantics: at most `concurrency` jobs run
-// at once and at most `depth` more wait; a submit beyond that fails
-// immediately with errQueueFull. Drain stops intake, lets every queued
-// and running job finish, then returns — the graceful-shutdown half of
-// the contract.
+// bounded job channel, plus a fast-path lane for jobs the cost model
+// prices as cheap. Capacity semantics: at most `concurrency` jobs run
+// at once on the pool and at most `depth` more wait; a submit beyond
+// that fails immediately with errQueueFull. The fast path admits at
+// most `concurrency` additional cheap jobs that run inline on their
+// handler goroutines, bypassing the wait queue — cheap requests are not
+// stuck behind expensive ones, which is the entire point of pricing
+// admission. Drain stops intake, lets every queued, running, and
+// fast-path job finish, then returns.
+//
+// Accounting contract (pinned by TestStatzCountersReconcile): every
+// admission attempt increments received exactly once and then exactly
+// one of accepted (which includes the fastPath subset), rejected, or
+// refused — so received == accepted + rejected + refused always, on the
+// solve and batch paths alike, because both go through submit or
+// tryBypass and nothing else counts.
 type admitter struct {
-	mu       sync.RWMutex // guards draining vs. close(jobs)
+	mu       sync.RWMutex // guards draining vs. close(jobs) and bypass entry
 	jobs     chan func()
 	draining bool
 	wg       sync.WaitGroup
@@ -32,18 +50,36 @@ type admitter struct {
 	depth    int
 	workers  int
 	inFlight atomic.Int64
+	received atomic.Int64
 	accepted atomic.Int64
 	rejected atomic.Int64
+	refused  atomic.Int64
+	fastPath atomic.Int64
+
+	// Executed-job wall-time ledger: every job that actually ran (pool or
+	// fast path) adds its wall time here. Cache hits never submit jobs,
+	// so they cannot drag the mean down — the mean prices honest work.
+	jobsDone  atomic.Int64
+	jobWallNS atomic.Int64
+
+	// bypass is the fast-path semaphore; bypassWG tracks in-flight
+	// fast-path jobs for drain.
+	bypass   chan struct{}
+	bypassWG sync.WaitGroup
 }
 
 func newAdmitter(concurrency, depth int) *admitter {
 	if depth < 0 {
 		depth = 0 // explicit no-queue mode: shed whenever workers are busy
 	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
 	a := &admitter{
 		jobs:    make(chan func(), depth),
 		depth:   depth,
 		workers: concurrency,
+		bypass:  make(chan struct{}, concurrency),
 	}
 	for i := 0; i < concurrency; i++ {
 		a.wg.Add(1)
@@ -51,7 +87,10 @@ func newAdmitter(concurrency, depth int) *admitter {
 			defer a.wg.Done()
 			for fn := range a.jobs {
 				a.inFlight.Add(1)
+				start := time.Now()
 				runJob(fn)
+				a.jobWallNS.Add(time.Since(start).Nanoseconds())
+				a.jobsDone.Add(1)
 				a.inFlight.Add(-1)
 			}
 		}()
@@ -75,7 +114,9 @@ func runJob(fn func()) {
 func (a *admitter) submit(fn func()) error {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	a.received.Add(1)
 	if a.draining {
+		a.refused.Add(1)
 		return errDraining
 	}
 	select {
@@ -86,6 +127,73 @@ func (a *admitter) submit(fn func()) error {
 		a.rejected.Add(1)
 		return errQueueFull
 	}
+}
+
+// tryBypass claims a fast-path slot for a job the cost model priced as
+// cheap. On success the caller MUST run the job inline and then call
+// endBypass with its wall time; the attempt is counted received +
+// accepted + fastPath. On failure nothing is counted — the caller falls
+// back to submit, which does its own counting — so every admission
+// attempt is ledgered exactly once.
+func (a *admitter) tryBypass() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.draining {
+		return false // fall through to submit, which counts the refusal
+	}
+	select {
+	case a.bypass <- struct{}{}:
+	default:
+		return false // fast path saturated; queue normally
+	}
+	// The Add happens under the read lock, before stopIntake's write lock
+	// can be taken, so drain's bypassWG.Wait observes every entry.
+	a.bypassWG.Add(1)
+	a.received.Add(1)
+	a.accepted.Add(1)
+	a.fastPath.Add(1)
+	a.inFlight.Add(1)
+	return true
+}
+
+// endBypass releases a fast-path slot and ledgers the executed job.
+func (a *admitter) endBypass(wall time.Duration) {
+	<-a.bypass
+	a.jobWallNS.Add(wall.Nanoseconds())
+	a.jobsDone.Add(1)
+	a.inFlight.Add(-1)
+	a.bypassWG.Done()
+}
+
+// meanJobNS is the observed mean executed-job wall time, 0 before any
+// job has finished.
+func (a *admitter) meanJobNS() int64 {
+	done := a.jobsDone.Load()
+	if done == 0 {
+		return 0
+	}
+	return a.jobWallNS.Load() / done
+}
+
+// retryAfterSeconds computes the honest Retry-After for a shed request:
+// the estimated time to clear the current queue — (waiting jobs + 1) ×
+// observed mean job wall time ÷ workers — rounded up to integer seconds
+// per RFC 9110, floored at 1 and capped at maxRetryAfterSec. With no
+// observed jobs yet it falls back to the 1-second floor.
+func (a *admitter) retryAfterSeconds() int {
+	mean := a.meanJobNS()
+	if mean <= 0 {
+		return 1
+	}
+	est := (int64(len(a.jobs)) + 1) * mean / int64(a.workers)
+	secs := (est + int64(time.Second) - 1) / int64(time.Second) // ceil
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfterSec {
+		return maxRetryAfterSec
+	}
+	return int(secs)
 }
 
 // stopIntake flips the admitter into draining mode and closes the job
@@ -99,11 +207,12 @@ func (a *admitter) stopIntake() {
 	}
 }
 
-// drain stops intake and blocks until every queued and in-flight job has
-// finished and the workers have exited.
+// drain stops intake and blocks until every queued, in-flight, and
+// fast-path job has finished and the workers have exited.
 func (a *admitter) drain() {
 	a.stopIntake()
 	a.wg.Wait()
+	a.bypassWG.Wait()
 }
 
 // queued reports the jobs waiting in the channel (excluding running ones).

@@ -3,9 +3,12 @@ package server
 import (
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"nearclique/internal/costmodel"
+	"nearclique/internal/flight"
 	"nearclique/internal/report"
 )
 
@@ -34,6 +37,16 @@ type Config struct {
 	MaxBatch int
 	// Version is reported by /statz (the daemon passes its build info).
 	Version string
+	// CheapSolveNS is the predicted-wall-time threshold below which a
+	// request takes the admission fast path: it bypasses the wait queue
+	// and runs inline on its handler goroutine (still bounded by a
+	// concurrency-sized semaphore). Only predictions backed by enough
+	// honest samples qualify, so a fresh server never bypasses. Default
+	// 10ms; negative disables the fast path entirely.
+	CheapSolveNS int64
+	// FlightCapacity is the per-request flight-recorder ring size used
+	// when a request opts into tracing (default flight.DefaultCapacity).
+	FlightCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,17 +65,83 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	if c.CheapSolveNS == 0 {
+		c.CheapSolveNS = 10 * int64(time.Millisecond)
+	}
+	if c.CheapSolveNS < 0 {
+		c.CheapSolveNS = 0 // fast path off
+	}
+	if c.FlightCapacity <= 0 {
+		c.FlightCapacity = flight.DefaultCapacity
+	}
 	return c
 }
 
+// flightAggregate accumulates the /statz flight section across every
+// traced solve. Exact totals (rounds/frames/bytes) come from the runs'
+// own metrics, not the ring — the ring may have dropped events — while
+// offered/dropped expose the ring's accounting itself.
+type flightAggregate struct {
+	mu      sync.Mutex
+	solves  int64
+	offered uint64
+	dropped uint64
+	rounds  int64
+	frames  int64
+	bytes   int64
+	recent  []report.FlightEvent
+}
+
+// statzRecentEvents caps the trailing event window /statz republishes
+// from the most recent traced solve.
+const statzRecentEvents = 32
+
+func (f *flightAggregate) merge(sample *report.FlightSample, rounds, frames, payloadBytes int64) {
+	if sample == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.solves++
+	f.offered += sample.Offered
+	f.dropped += sample.Dropped
+	f.rounds += rounds
+	f.frames += frames
+	f.bytes += payloadBytes
+	evs := sample.Events
+	if len(evs) > statzRecentEvents {
+		evs = evs[len(evs)-statzRecentEvents:]
+	}
+	f.recent = append(f.recent[:0], evs...)
+}
+
+func (f *flightAggregate) stats() *report.FlightStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.solves == 0 {
+		return nil
+	}
+	return &report.FlightStats{
+		SolvesTraced:  f.solves,
+		EventsOffered: f.offered,
+		EventsDropped: f.dropped,
+		Rounds:        f.rounds,
+		Frames:        f.frames,
+		PayloadBytes:  f.bytes,
+		Recent:        append([]report.FlightEvent(nil), f.recent...),
+	}
+}
+
 // Server is the long-running serving state: registry + cache + admission
-// queue behind an http.Handler. Construct with New, expose Handler
-// through an http.Server, and on shutdown call Drain then Close.
+// queue + cost model behind an http.Handler. Construct with New, expose
+// Handler through an http.Server, and on shutdown call Drain then Close.
 type Server struct {
 	cfg      Config
 	reg      *registry
 	cache    *resultCache
 	admit    *admitter
+	cost     *costmodel.Model
+	flights  flightAggregate
 	start    time.Time
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -82,6 +161,7 @@ func New(cfg Config) *Server {
 		reg:   newRegistry(),
 		cache: newResultCache(cfg.CacheBytes),
 		admit: newAdmitter(cfg.Concurrency, cfg.QueueDepth),
+		cost:  costmodel.New(),
 		start: time.Now(),
 	}
 	s.mux = http.NewServeMux()
@@ -97,6 +177,12 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP surface of the server.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// CostModel exposes the server's online cost model: the daemon seeds it
+// from a committed COSTMODEL.json at startup (json.Unmarshal into it)
+// and may serialize it back on shutdown. The model keeps training from
+// live traffic either way.
+func (s *Server) CostModel() *costmodel.Model { return s.cost }
 
 // LoadGraph opens the graph file at path and registers it under name —
 // the programmatic twin of POST /v1/graphs, used by the daemon's -load
@@ -132,7 +218,7 @@ func (s *Server) Close() error {
 
 // Stats assembles the /statz record.
 func (s *Server) Stats() report.ServerStats {
-	return report.ServerStats{
+	st := report.ServerStats{
 		UptimeSec:     time.Since(s.start).Seconds(),
 		Version:       s.cfg.Version,
 		GoVersion:     runtime.Version(),
@@ -141,9 +227,31 @@ func (s *Server) Stats() report.ServerStats {
 		QueueDepth:    s.admit.queued(),
 		QueueCapacity: s.cfg.QueueDepth,
 		InFlight:      int(s.admit.inFlight.Load()),
+		Received:      s.admit.received.Load(),
 		Accepted:      s.admit.accepted.Load(),
 		Rejected:      s.admit.rejected.Load(),
+		Refused:       s.admit.refused.Load(),
+		FastPath:      s.admit.fastPath.Load(),
+		JobsDone:      s.admit.jobsDone.Load(),
+		MeanJobMS:     float64(s.admit.meanJobNS()) / 1e6,
+		RetryAfterSec: s.admit.retryAfterSeconds(),
 		Cache:         s.cache.stats(),
+		Flight:        s.flights.stats(),
 		Graphs:        s.reg.list(),
 	}
+	if samples := s.cost.Samples(); samples > 0 {
+		cs := &report.CostStats{Samples: samples}
+		for _, e := range s.cost.Summaries() {
+			cs.Engines = append(cs.Engines, report.CostEngine{
+				Engine:       e.Engine,
+				Samples:      e.Samples,
+				NSPerWork:    e.NSPerWork,
+				WorkExponent: e.WorkExponent,
+				RoundsPerVer: e.RoundsPerVer,
+				BytesPerWork: e.BytesPerWork,
+			})
+		}
+		st.CostModel = cs
+	}
+	return st
 }

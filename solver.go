@@ -10,6 +10,7 @@ import (
 
 	"nearclique/internal/congest"
 	"nearclique/internal/core"
+	"nearclique/internal/flight"
 	"nearclique/internal/refine"
 )
 
@@ -261,6 +262,43 @@ func WithRefine(spec RefineSpec) Option {
 		c.refine = &spec
 		return nil
 	}
+}
+
+// FlightRecorder re-exports the per-round flight recorder: a fixed-size
+// lock-free ring of engine execution events; see the flight package for
+// the slot protocol and the exact-accounting invariant.
+type FlightRecorder = flight.Recorder
+
+// FlightEvent re-exports one recorded flight observation.
+type FlightEvent = flight.Event
+
+// Flight event kinds.
+const (
+	// FlightRound is one simulated communication round.
+	FlightRound = flight.KindRound
+	// FlightPhase is one completed protocol phase summary.
+	FlightPhase = flight.KindPhase
+)
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder(0) uses.
+const DefaultFlightCapacity = flight.DefaultCapacity
+
+// NewFlightRecorder builds a recorder retaining the most recent capacity
+// events (rounded up to a power of two; 0 means flight.DefaultCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.New(capacity) }
+
+// WithFlightRecorder attaches a flight recorder to every run the Solver
+// executes: the engines emit per-round and per-phase events (round index,
+// frontier size, frames, payload bytes, heap delta) into the recorder's
+// fixed-size lock-free ring. Recording is purely observational — outputs
+// and transcripts are bit-identical with or without it (pinned by the
+// golden suite) — and never blocks a round: under contention events are
+// dropped and counted, not waited for. Under SolveBatch the one recorder
+// is shared by every in-flight run; it is safe for that concurrency, and
+// the exact-accounting invariant Offered == retained + Dropped holds
+// across the whole batch. Pass nil to detach.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(c *config) error { c.opts.Flight = rec; return nil }
 }
 
 // WithAsyncMaxDelay bounds per-message delay in virtual time units for
