@@ -1,0 +1,145 @@
+// Command nclint is the repository's static-analysis multichecker: it
+// runs the internal/lint analyzer suite — determinism, locksafe,
+// errwrap, ctxflow — over the given packages (tests included) and fails
+// on any diagnostic, printing the //nclint:allow escape-hatch ledger
+// either way.
+//
+// Usage:
+//
+//	go run ./cmd/nclint ./...          # the whole module (the CI gate)
+//	go run ./cmd/nclint -a errwrap ./internal/server
+//	go run ./cmd/nclint -json ./...
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or load failure.
+//
+// The suite is built on the standard library alone (see internal/lint):
+// the module takes no dependencies, so the x/tools multichecker and
+// `go vet -vettool` integration are intentionally out of scope until a
+// dependency on golang.org/x/tools is ever taken. Analyzer Run functions
+// already match that framework's shape, so the port is mechanical.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nearclique/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("nclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only    = fs.String("a", "", "comma-separated analyzer subset to run (default: all)")
+		asJSON  = fs.Bool("json", false, "emit diagnostics and the allow ledger as JSON")
+		debug   = fs.Bool("debug", false, "print non-fatal type-check errors encountered while loading")
+		listAll = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: nclint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listAll {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "nclint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "nclint: %v\n", err)
+		return 2
+	}
+	if *debug {
+		for _, e := range res.TypeErrors {
+			fmt.Fprintf(stderr, "nclint: type-check (non-fatal): %v\n", e)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResult(res)); err != nil {
+			fmt.Fprintf(stderr, "nclint: %v\n", err)
+			return 2
+		}
+	} else {
+		res.Print(stdout)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonReport is the machine-readable mirror of Result.Print.
+type jsonReport struct {
+	Packages    int         `json:"packages"`
+	Diagnostics []jsonDiag  `json:"diagnostics"`
+	Allows      []jsonAllow `json:"allows"`
+	Suppressed  int         `json:"suppressed"`
+}
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonAllow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Used     int    `json:"used"`
+}
+
+func jsonResult(res *lint.Result) jsonReport {
+	out := jsonReport{
+		Packages:    res.Packages,
+		Diagnostics: []jsonDiag{},
+		Allows:      []jsonAllow{},
+		Suppressed:  res.Suppressed(),
+	}
+	for _, d := range res.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	}
+	for _, a := range res.Allows {
+		out.Allows = append(out.Allows, jsonAllow{a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Reason, a.Used})
+	}
+	return out
+}

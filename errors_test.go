@@ -135,6 +135,34 @@ func TestSolveBatchCancellation(t *testing.T) {
 	}
 }
 
+// TestWrappedSentinelsNeverCompareEqual pins the rationale behind the
+// errwrap analyzer (DESIGN.md §12): every sentinel this module returns
+// arrives wrapped with context (`%w`), so an == comparison against the
+// bare sentinel is always false even when errors.Is matches. If this
+// test ever fails, sentinels are being returned unwrapped and the
+// analyzer's premise no longer holds.
+func TestWrappedSentinelsNeverCompareEqual(t *testing.T) {
+	g := nearclique.GenPlantedNearClique(200, 70, 0.01, 0.04, 3).Graph
+	s, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineSharded),
+		nearclique.WithMaxRounds(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Solve(context.Background(), g)
+	if !errors.Is(err, nearclique.ErrRoundLimit) {
+		t.Fatalf("want wrapped ErrRoundLimit, got %v", err)
+	}
+	//nclint:allow errwrap -- this test demonstrates exactly why == must not be used
+	if err == nearclique.ErrRoundLimit {
+		t.Fatal("sentinel returned unwrapped: == matched, so the errwrap contract (always wrap with %w) is broken")
+	}
+	if !strings.Contains(err.Error(), nearclique.ErrRoundLimit.Error()) {
+		t.Fatalf("wrapped error hides the sentinel text: %v", err)
+	}
+}
+
 // completeEdges lists all pairs over n nodes.
 func completeEdges(n int) [][2]int {
 	var edges [][2]int

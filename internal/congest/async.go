@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
-	"math/rand"
+	"math/rand" //nclint:allow determinism -- delay jitter comes from a counterSource keyed by (seed, edge), not a shared source
 	"sort"
 
 	"nearclique/internal/flight"
@@ -314,6 +314,7 @@ func (e *asyncEngine) onSafe(ev *event) {
 func (e *asyncEngine) tryAdvance(v NodeID) {
 	net := e.net
 	st := &e.nodes[v]
+	//nclint:allow ctxflow -- bounded drain: advances at most the rounds already queued; the event pump owns cancellation
 	for st.safeSelf && st.safeHeard[st.round] == net.g.Degree(int(v)) {
 		box := st.inbox[st.round]
 		delete(st.inbox, st.round)

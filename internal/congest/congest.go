@@ -36,7 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"math/rand"
+	"math/rand" //nclint:allow determinism -- all draws go through Context.Rand, seeded from the counterSource bank
 	"runtime"
 	"sort"
 	"sync"

@@ -1,6 +1,6 @@
 package congest
 
-import "math/rand"
+import "math/rand" //nclint:allow determinism -- re-keys counterSource streams; *rand.Rand is only the draw adapter
 
 // RandBank owns a growable array of per-node counter RNGs that can be
 // re-keyed in place. A sequential replay of an n-node run needs n

@@ -1,6 +1,8 @@
 package congest
 
-import "math/rand"
+// This file IS the counter-based RNG bank the determinism contract routes
+// randomness through; it imports math/rand only for the Source interface.
+import "math/rand" //nclint:allow determinism -- defines counterSource, the rand.Source every transcript draw routes through
 
 // Per-node randomness is a counter-based stream: node v's i-th draw is
 // mix64(key(seed, v) + i·γ) where mix64 is the splitmix64 finalizer and γ

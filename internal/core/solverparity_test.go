@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -109,7 +110,14 @@ func TestSolveBatchMatchesSoloSolves(t *testing.T) {
 	ctx := context.Background()
 	var graphs []*graph.Graph
 	var names []string
-	for name, g := range parityInstances() {
+	instances := parityInstances()
+	keys := make([]string, 0, len(instances))
+	for name := range instances {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys) // batch order must not depend on map iteration
+	for _, name := range keys {
+		g := instances[name]
 		graphs = append(graphs, g, g, g) // replicas: exercises scratch reuse
 		names = append(names, name, name, name)
 	}

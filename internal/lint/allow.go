@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix introduces the suite's single escape hatch:
+//
+//	//nclint:allow <analyzer> -- <reason>
+//
+// placed on the flagged line or the line immediately above it. The reason
+// is mandatory — an allow without one is itself a diagnostic — and every
+// allow that fires is counted and printed in the run summary, so
+// suppressions stay visible instead of rotting silently.
+const allowPrefix = "//nclint:allow"
+
+// Allow is one parsed escape-hatch directive.
+type Allow struct {
+	Pos      token.Position // position of the directive comment
+	Analyzer string
+	Reason   string
+	// Used counts the diagnostics this allow suppressed in the run.
+	Used int
+}
+
+// Malformed is a directive that failed to parse; the runner reports these
+// as diagnostics so a typo cannot silently disable nothing.
+type Malformed struct {
+	Pos token.Position
+	Err string
+}
+
+// parseAllows scans one package's comments for allow directives.
+func parseAllows(p *Package) (allows []*Allow, bad []Malformed) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					bad = append(bad, Malformed{pos, "malformed directive: want //nclint:allow <analyzer> -- <reason>"})
+					continue
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				if !ok || name == "" || reason == "" {
+					bad = append(bad, Malformed{pos, "malformed directive: want //nclint:allow <analyzer> -- <reason>"})
+					continue
+				}
+				if ByName(name) == nil {
+					bad = append(bad, Malformed{pos, fmt.Sprintf("unknown analyzer %q", name)})
+					continue
+				}
+				allows = append(allows, &Allow{Pos: pos, Analyzer: name, Reason: reason})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// allowIndex answers "is this diagnostic suppressed?" in O(1): directives
+// are keyed by (file, line) and match their own line plus the next one,
+// so a comment above a statement covers the statement.
+type allowIndex struct {
+	byLine map[string]map[int]*Allow // file -> line -> directive
+	all    []*Allow
+}
+
+func indexAllows(allows []*Allow) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int]*Allow), all: allows}
+	for _, a := range allows {
+		m := idx.byLine[a.Pos.Filename]
+		if m == nil {
+			m = make(map[int]*Allow)
+			idx.byLine[a.Pos.Filename] = m
+		}
+		m[a.Pos.Line] = a
+	}
+	return idx
+}
+
+// suppress reports whether d is covered by an allow, and if so records
+// the use.
+func (idx *allowIndex) suppress(d Diagnostic) bool {
+	m := idx.byLine[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if a := m[line]; a != nil && a.Analyzer == d.Analyzer {
+			a.Used++
+			return true
+		}
+	}
+	return false
+}
+
+// sortAllows orders directives by position for stable summaries.
+func sortAllows(allows []*Allow) {
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

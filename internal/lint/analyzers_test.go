@@ -1,0 +1,104 @@
+package lint_test
+
+// Analyzer golden suites: each analyzer runs over a fixture package under
+// testdata/src whose sources carry `// want` expectations (linttest is
+// the in-repo analysistest). The fixture module reuses the real module
+// path so the analyzers' import-path scoping applies verbatim.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nearclique/internal/lint"
+	"nearclique/internal/lint/linttest"
+)
+
+func TestDeterminismFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src", []string{"./internal/congest"},
+		lint.DeterminismAnalyzer, lint.CtxflowAnalyzer)
+}
+
+func TestLocksafeFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src", []string{"./internal/server"},
+		lint.LocksafeAnalyzer, lint.CtxflowAnalyzer)
+}
+
+func TestErrwrapFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src", []string{"./wraps"}, lint.ErrwrapAnalyzer)
+}
+
+// TestScopeMatching pins the subtlety that the bare "nearclique" scope
+// entry matches the module root exactly and must not suffix-match
+// cmd/nearclique: the same wall-clock call is flagged in one and not the
+// other.
+func TestScopeMatching(t *testing.T) {
+	linttest.Run(t, "testdata/src", []string{".", "./cmd/nearclique"},
+		lint.DeterminismAnalyzer)
+}
+
+// TestAllowLedger exercises the escape hatch end to end on the refine
+// fixture: a directive that suppresses a real finding, a stale one, and
+// two malformed ones. Expectations live here rather than in want
+// comments because stale-allow diagnostics land on the directive's own
+// line, which the directive comment already occupies.
+func TestAllowLedger(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src", []string{"./internal/refine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lint.RunPackages(pkgs, lint.All())
+
+	if len(res.Allows) != 2 {
+		t.Fatalf("parsed %d allows, want 2 (used + stale): %+v", len(res.Allows), res.Allows)
+	}
+	used, stale := res.Allows[0], res.Allows[1]
+	if used.Used != 1 || used.Analyzer != "determinism" {
+		t.Errorf("first allow: used=%d analyzer=%s, want 1/determinism", used.Used, used.Analyzer)
+	}
+	if stale.Used != 0 {
+		t.Errorf("second allow: used=%d, want 0 (stale)", stale.Used)
+	}
+	if got := res.Suppressed(); got != 1 {
+		t.Errorf("suppressed %d diagnostics, want 1", got)
+	}
+
+	wantMsgs := []string{
+		"stale //nclint:allow determinism",
+		"malformed directive",
+		`unknown analyzer "nope"`,
+	}
+	if len(res.Diagnostics) != len(wantMsgs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%+v", len(res.Diagnostics), len(wantMsgs), res.Diagnostics)
+	}
+	for _, msg := range wantMsgs {
+		found := false
+		for _, d := range res.Diagnostics {
+			if strings.Contains(d.Message, msg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q in %+v", msg, res.Diagnostics)
+		}
+	}
+
+	// The summary must report every directive — including the one that
+	// fired — so suppressions never vanish silently.
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, s := range []string{
+		"2 //nclint:allow directive(s) in effect, 1 diagnostic(s) suppressed",
+		"allow determinism (x1)",
+		"allow determinism (x0)",
+	} {
+		if !strings.Contains(out, s) {
+			t.Errorf("Print output missing %q:\n%s", s, out)
+		}
+	}
+	if strings.Contains(out, "nclint: ok") {
+		t.Errorf("Print claimed ok despite %d diagnostics:\n%s", len(res.Diagnostics), out)
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxflowAnalyzer enforces the context-plumbing contract:
+//
+//   - contexts are parameters, never struct fields: a stored context
+//     outlives its request, silently detaching cancellation from the
+//     work it governs (the one exception Go itself blesses —
+//     http.Request — lives outside this module);
+//   - every round-emitting loop in a transcript-affecting package
+//     observes cancellation: the loop advances a rounds counter, so it
+//     is exactly the unbounded work the public API promises to interrupt
+//     per round (Solve's contract since DESIGN.md §7). A loop that
+//     neither consults ctx.Err()/ctx.Done() nor passes the context on
+//     can spin past a cancelled deadline for the whole phase.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags contexts stored in struct fields and round-emitting loops that never observe cancellation",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	checkStoredContexts(pass)
+	if pass.InScope(transcriptScope...) {
+		forEachFunc(pass, func(fd *ast.FuncDecl) {
+			if fd.Body != nil && !inTestFile(pass, fd.Pos()) {
+				checkRoundLoops(pass, fd.Body)
+			}
+		})
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && namedFrom(t, "context", "Context")
+}
+
+func checkStoredContexts(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if isContextType(info.TypeOf(field.Type)) {
+					pass.Reportf(field.Type.Pos(), "context.Context stored in a struct field: pass contexts as parameters so cancellation follows the call, not the object lifetime")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRoundLoops flags loops that advance a rounds counter without a
+// reachable cancellation observation in their body.
+func checkRoundLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loopBody = s.Body
+		case *ast.RangeStmt:
+			loopBody = s.Body
+		default:
+			return true
+		}
+		if !emitsRounds(pass.TypesInfo, loopBody) {
+			return true
+		}
+		if observesCancellation(pass.TypesInfo, loopBody) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "round-emitting loop never observes cancellation: check ctx.Err() (or pass ctx into the body) so Solve's per-round cancellation contract holds")
+		return true
+	})
+}
+
+// emitsRounds reports whether the loop body directly advances a rounds
+// counter (x.Rounds++, rounds += k, …). Nested function literals are the
+// callee's concern, and a nested loop's increments are attributed to the
+// nested loop (the inner loop is where the unbounded work spins).
+func emitsRounds(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallowLoop(body, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if s.Tok == token.INC && isRoundsExpr(s.X) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 && isRoundsExpr(s.Lhs[0]) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func isRoundsExpr(e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return strings.EqualFold(name, "rounds") || strings.EqualFold(name, "round")
+}
+
+// observesCancellation reports whether the loop body touches a context:
+// ctx.Err()/ctx.Done() calls, receiving from Done(), or passing a context
+// value into any call (delegating the check).
+func observesCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallowLoop(body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done" || sel.Sel.Name == "Deadline") && isContextType(info.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+			for _, arg := range x.Args {
+				if isContextType(info.TypeOf(arg)) {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// inspectShallowLoop visits the loop body without descending into nested
+// function literals or nested loops.
+func inspectShallowLoop(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case nil:
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrwrapAnalyzer enforces the sentinel-error contract: package-level
+// error values (ErrRoundLimit, ErrNotFound, ErrBadSnapshot, ErrTooLarge,
+// errQueueFull, …) travel wrapped — fmt.Errorf("…: %w", Err…) — and are
+// matched with errors.Is, never ==. A == comparison breaks the moment any
+// layer wraps the sentinel, which the public API does deliberately
+// (DESIGN.md §7), so the comparison style is a correctness contract, not
+// taste. It runs over every package, tests included: test assertions are
+// where stale == comparisons hide longest.
+var ErrwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "flags == / != / switch-case comparisons against sentinel errors (use errors.Is) and sentinels passed to fmt.Errorf without %w",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for i, side := range [...]ast.Expr{x.X, x.Y} {
+					other := [...]ast.Expr{x.Y, x.X}[i]
+					if name, ok := sentinelErrorVar(info, side); ok && !isNilIdent(info, other) {
+						pass.Reportf(x.Pos(), "%s compared with %s: wrapped sentinels never compare equal — use errors.Is(err, %s)", name, x.Op, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil || !isErrorType(info.TypeOf(x.Tag)) {
+					return true
+				}
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelErrorVar(info, e); ok {
+							pass.Reportf(e.Pos(), "switch case compares the error against %s with ==: use a switch over errors.Is results", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelErrorVar reports whether e resolves to a package-level variable
+// of error type — the shape every sentinel in this module has.
+func sentinelErrorVar(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := useObj(info, id).(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := useObj(info, id).(*types.Nil)
+	return isNil
+}
+
+// checkErrorfWrap verifies that sentinels handed to fmt.Errorf are
+// consumed by a %w verb, so the chain stays errors.Is-matchable.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed or otherwise exotic format; out of scope
+	}
+	for i, arg := range call.Args[1:] {
+		name, isSentinel := sentinelErrorVar(info, arg)
+		if !isSentinel {
+			continue
+		}
+		if i >= len(verbs) {
+			continue // vet territory (too few verbs)
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "sentinel %s formatted with %%%c: use %%w so callers can match it with errors.Is", name, verbs[i])
+		}
+	}
+}
+
+// formatVerbs returns the verb consuming each successive operand of a
+// Printf-style format. It gives up (ok=false) on explicit argument
+// indexes, which none of this module's formats use.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — each '*' consumes an operand.
+		for i < len(format) && strings.IndexByte("+-# 0.*123456789", format[i]) >= 0 {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch c := format[i]; c {
+		case '%':
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, c)
+		}
+	}
+	return verbs, true
+}

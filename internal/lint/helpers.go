@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// baseIdent peels selectors, indexes, parens, and derefs down to the
+// left-most identifier: a.b[i].c -> a. Returns nil when the base is not
+// an identifier (e.g. a call result).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// useObj resolves an identifier to its object, whichever table holds it.
+func useObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the declared function or
+// method it invokes, nil for builtins, func values, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := useObj(info, fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := useObj(info, fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes a package-level function of the
+// given import path with one of the given names (e.g. time.Now).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedFrom reports whether t (after pointer peeling) is the named type
+// pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// mentionsObj reports whether expr references any of the given objects.
+func mentionsObj(info *types.Info, expr ast.Node, objs map[types.Object]bool) bool {
+	if expr == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := useObj(info, id); o != nil && objs[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// definedWithin reports whether obj's declaration lies inside the node —
+// i.e. the object is local to it.
+func definedWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && n != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// forEachFunc visits every function and method body in the pass,
+// including the body-less check of file-level declarations.
+func forEachFunc(pass *Pass, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isBasicKind reports whether t's underlying type is a basic type whose
+// info bits intersect mask (e.g. types.IsInteger).
+func isBasicKind(t types.Type, mask types.BasicInfo) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&mask != 0
+}
+
+// inTestFile reports whether pos lies in a _test.go file. Checks about
+// transcript-producing execution (wall clock, round loops, selects) bind
+// the production code, not the tests that exercise it with deadlines and
+// stopwatches.
+func inTestFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,150 @@
+// Package lint is the repository's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) over the standard library's
+// go/ast + go/types, plus a package loader built on `go list -export`.
+//
+// Why not x/tools itself? The module is deliberately dependency-free
+// (go.mod lists nothing), so the vet-style multichecker and analysistest
+// conveniences are re-created here in miniature. Analyzer Run functions
+// are written against the same shapes x/tools uses — an *Analyzer with a
+// Run(*Pass) error, diagnostics reported through the pass — so porting
+// them onto the real framework is a mechanical change if the dependency
+// is ever taken.
+//
+// The analyzers themselves enforce the contracts the compiler cannot see
+// (DESIGN.md §12): byte-identical round transcripts across engines,
+// GOMAXPROCS, and batch shape (determinism), lock hygiene in the serving
+// and flight-recorder paths (locksafe), errors.Is-matchable sentinel
+// errors (errwrap), and context plumbing with per-round cancellation
+// (ctxflow).
+//
+// Escape hatch: a source line (or the line immediately above it) may
+// carry
+//
+//	//nclint:allow <analyzer> -- <reason>
+//
+// to suppress one analyzer's diagnostics at that position. Allows are
+// never silent: every use is counted and printed in the run summary, and
+// allows that suppress nothing are themselves diagnostics.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nclint:allow directives.
+	Name string
+	// Doc is the one-paragraph description `nclint help` prints.
+	Doc string
+	// Packages restricts where the analyzer runs: a list of import-path
+	// suffixes ("internal/server") or exact paths; nil means every
+	// package. Finer-grained scoping (per-check, like determinism's
+	// transcript vs. emission scopes) lives inside Run via Pass.InScope.
+	Packages []string
+	// Run performs the analysis and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the package's import path with any test-variant suffix
+	// stripped ("nearclique/internal/server", never "... [....test]").
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the pass's package matches any of the given
+// import-path suffixes. Analyzers with checks of differing scope
+// (determinism) consult it per check.
+func (p *Pass) InScope(suffixes ...string) bool {
+	return pathMatches(p.PkgPath, suffixes)
+}
+
+func pathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		// Entries without a slash name a single package exactly (the
+		// module root "nearclique" must not match cmd/nearclique).
+		if pkgPath == s || (strings.Contains(s, "/") && strings.HasSuffix(pkgPath, "/"+s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order the multichecker prints and tests assert against.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// All returns the full analyzer suite in the order nclint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		LocksafeAnalyzer,
+		ErrwrapAnalyzer,
+		CtxflowAnalyzer,
+	}
+}
+
+// ByName resolves one analyzer from All, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package linttest is the in-repo analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture module,
+// applies analyzers, and checks the diagnostics against expectations
+// written in the fixture sources as
+//
+//	// want `regex`
+//
+// comments (one or more quoted or backquoted regexes per comment). A
+// diagnostic matches a want on its own line whose regex matches the
+// diagnostic message; every diagnostic must be wanted and every want must
+// fire, so fixtures pin both the positives and the negatives — a check
+// that stops firing breaks its fixture the same way a false positive
+// does.
+package linttest
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nearclique/internal/lint"
+)
+
+// want is one expectation: a regex anchored to a fixture source line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads patterns from dir (a fixture module root), applies the
+// analyzers through the same pipeline cmd/nclint uses — including
+// //nclint:allow resolution — and asserts the surviving diagnostics
+// against the fixtures' want comments. The Result is returned so callers
+// can additionally assert on the allow ledger.
+func Run(t *testing.T, dir string, patterns []string, analyzers ...*lint.Analyzer) *lint.Result {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("linttest: loading %v under %s: %v", patterns, dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: no packages matched %v under %s", patterns, dir)
+	}
+	res := lint.RunPackages(pkgs, analyzers)
+	// Fixtures must type-check: partial type info silently weakens every
+	// analyzer, so fixture rot is a hard failure here.
+	for _, te := range res.TypeErrors {
+		t.Errorf("linttest: fixture type error: %v", te)
+	}
+
+	wants := collectWants(t, pkgs)
+	index := make(map[string]map[int][]*want)
+	for _, w := range wants {
+		byLine := index[w.file]
+		if byLine == nil {
+			byLine = make(map[int][]*want)
+			index[w.file] = byLine
+		}
+		byLine[w.line] = append(byLine[w.line], w)
+	}
+
+	for _, d := range res.Diagnostics {
+		matched := false
+		for _, w := range index[d.Pos.Filename][d.Pos.Line] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("linttest: unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("linttest: %s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+	return res
+}
+
+// wantRE finds the expectation marker; quoted and backquoted regexes
+// follow on the same line.
+var (
+	wantRE    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// collectWants scans every loaded fixture file for want comments. Files
+// shared between a plain unit and its test variant are scanned once.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*want {
+	t.Helper()
+	seen := make(map[string]bool)
+	var wants []*want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("linttest: reading fixture %s: %v", name, err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				args := wantArgRE.FindAllString(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("linttest: %s:%d: malformed want comment (need quoted or backquoted regexes): %s", name, i+1, line)
+				}
+				for _, arg := range args {
+					pat, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("linttest: %s:%d: unquoting want %s: %v", name, i+1, arg, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: %s:%d: compiling want %s: %v", name, i+1, arg, err)
+					}
+					wants = append(wants, &want{file: name, line: i + 1, re: re, raw: arg})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: either a package's compiled
+// files, its in-package test variant (which supersedes the plain unit —
+// same files plus the _test.go ones), or its external _test package.
+type Package struct {
+	// Path is the plain import path, test-variant suffix stripped.
+	Path string
+	// TestVariant marks units that include _test.go sources.
+	TestVariant bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects non-fatal type-check problems. The analyzers
+	// run best-effort over partial type information; nclint surfaces
+	// these only under -debug.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	Dir             string
+	ImportPath      string
+	Name            string
+	ForTest         string
+	Export          string
+	Standard        bool
+	DepOnly         bool
+	Incomplete      bool
+	CompiledGoFiles []string
+	Error           *struct{ Err string }
+}
+
+// Load lists patterns with the go command and type-checks every matched
+// package from source, resolving imports through compiler export data
+// (`go list -deps -test -export`). It needs no network: export data is
+// produced by the local build cache.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every listed package, keyed by the raw import path
+	// (test variants keep their "pkg [pkg.test]" key so an external test
+	// package can prefer the recompiled variant of its package under test).
+	exports := make(map[string]string)
+	for _, e := range entries {
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+
+	// Pick analysis units among the matched (non-dep) module packages:
+	// the in-package test variant supersedes the plain unit when present,
+	// so each source file is analyzed exactly once with maximal context.
+	plain := make(map[string]*listPackage)   // path -> plain entry
+	variant := make(map[string]*listPackage) // path -> "p [p.test]" entry
+	var xtests []*listPackage
+	targets := make(map[string]bool) // plain paths matched by the patterns
+	for _, e := range entries {
+		e := e
+		if e.Standard || strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		switch {
+		case e.ForTest == "" && !e.DepOnly:
+			targets[e.ImportPath] = true
+			plain[e.ImportPath] = &e
+		case e.ForTest != "" && strings.HasPrefix(e.ImportPath, e.ForTest+" ["):
+			variant[e.ForTest] = &e
+		case e.ForTest != "" && strings.HasSuffix(e.Name, "_test"):
+			xtests = append(xtests, &e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	check := func(path, testCtx string, entry *listPackage, isTest bool) error {
+		if entry == nil || len(entry.CompiledGoFiles) == 0 {
+			return nil
+		}
+		files, err := parseFiles(fset, entry.Dir, entry.CompiledGoFiles)
+		if err != nil {
+			return err
+		}
+		p := &Package{Path: path, TestVariant: isTest, Fset: fset, Files: files}
+		conf := types.Config{
+			Importer: exportImporter(fset, exports, testCtx),
+			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+		}
+		p.Info = newTypesInfo()
+		// Best effort: a partial types.Package still lets most checks run.
+		p.Types, _ = conf.Check(path, fset, files, p.Info)
+		pkgs = append(pkgs, p)
+		return nil
+	}
+
+	for path := range targets {
+		if v := variant[path]; v != nil {
+			if err := check(path, bracketCtx(v.ImportPath), v, true); err != nil {
+				return nil, err
+			}
+		} else if err := check(path, "", plain[path], false); err != nil {
+			return nil, err
+		}
+	}
+	for _, x := range xtests {
+		if !targets[x.ForTest] {
+			continue
+		}
+		if err := check(x.ForTest, bracketCtx(x.ImportPath), x, true); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return !pkgs[i].TestVariant && pkgs[j].TestVariant
+	})
+	return pkgs, nil
+}
+
+// bracketCtx extracts the test context token from a test-variant import
+// path: "p [q.test]" -> "q.test".
+func bracketCtx(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 && strings.HasSuffix(importPath, "]") {
+		return importPath[i+2 : len(importPath)-1]
+	}
+	return ""
+}
+
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := []string{
+		"list", "-e", "-deps", "-test", "-export", "-compiled",
+		"-json=Dir,ImportPath,Name,ForTest,Export,Standard,DepOnly,Incomplete,CompiledGoFiles,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listPackage
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !strings.HasPrefix(path, "/") {
+			path = dir + string(os.PathSeparator) + name
+		}
+		// Cache-relative cgo intermediates have no place here (the module
+		// is pure Go); skip anything that is not a real source file.
+		if !strings.HasSuffix(path, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportImporter resolves imports through the export files `go list
+// -export` reported. testCtx, when non-empty, prefers the "path [testCtx]"
+// variant — exactly how the go command compiles an external test package
+// against the recompiled package under test.
+func exportImporter(fset *token.FileSet, exports map[string]string, testCtx string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if testCtx != "" {
+			if f, ok := exports[path+" ["+testCtx+"]"]; ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return &unsafeAwareImporter{base: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAwareImporter guards the one import the gc importer must never be
+// asked to read from export data.
+type unsafeAwareImporter struct {
+	base types.Importer
+}
+
+func (u *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	return u.ImportFrom(path, "", 0)
+}
+
+func (u *unsafeAwareImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if from, ok := u.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return u.base.Import(path)
+}

@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LocksafeAnalyzer enforces lock hygiene in the concurrent serving paths
+// (internal/server, internal/flight):
+//
+//   - no lock copied by value: parameters, results, assignments, range
+//     values, and call arguments whose type is (or transitively contains)
+//     a sync or sync/atomic synchronization value;
+//   - no mixed access to an atomic field: once a plain field's address
+//     feeds a sync/atomic call anywhere in the package, every other
+//     access to that field must also be atomic (prefer the typed
+//     atomic.Int64-style fields, which make this unrepresentable);
+//   - no blocking call while a mutex is held: channel sends/receives,
+//     selects without a default, WaitGroup/Cond waits, solver entry
+//     points (Solve, SolveBatch, Search), and net/http round-trips
+//     between Lock and Unlock stall every other goroutine contending for
+//     the lock — and under defer Unlock they stall it for the whole call.
+var LocksafeAnalyzer = &Analyzer{
+	Name:     "locksafe",
+	Doc:      "flags locks copied by value, non-atomic access to atomically-used fields, and blocking calls made while a mutex is held",
+	Packages: []string{"internal/server", "internal/flight"},
+	Run:      runLocksafe,
+}
+
+func runLocksafe(pass *Pass) error {
+	checkLockCopies(pass)
+	checkAtomicMix(pass)
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		if fd.Body != nil {
+			checkBlockingUnderLock(pass, fd.Body)
+		}
+	})
+	return nil
+}
+
+// --- locks copied by value ---------------------------------------------
+
+var syncValueTypes = map[string]map[string]bool{
+	"sync":        {"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true, "Map": true, "Pool": true},
+	"sync/atomic": {"Bool": true, "Int32": true, "Int64": true, "Uint32": true, "Uint64": true, "Uintptr": true, "Pointer": true, "Value": true},
+}
+
+// containsLock reports whether a value of type t embeds synchronization
+// state that must not be copied, and names the offending component.
+func containsLock(t types.Type, depth int) (string, bool) {
+	if depth > 4 || t == nil {
+		return "", false
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := syncValueTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Path() + "." + obj.Name(), true
+			}
+		}
+		t = n.Underlying()
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := containsLock(u.Field(i).Type(), depth+1); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return "", false
+}
+
+func checkLockCopies(pass *Pass) {
+	info := pass.TypesInfo
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		// Receivers, parameters, and results taken by value.
+		var fields []*ast.Field
+		if fd.Recv != nil {
+			fields = append(fields, fd.Recv.List...)
+		}
+		if fd.Type.Params != nil {
+			fields = append(fields, fd.Type.Params.List...)
+		}
+		if fd.Type.Results != nil {
+			fields = append(fields, fd.Type.Results.List...)
+		}
+		for _, f := range fields {
+			t := info.TypeOf(f.Type)
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if name, ok := containsLock(t, 0); ok {
+				pass.Reportf(f.Type.Pos(), "%s passed by value copies %s: use a pointer", fd.Name.Name, name)
+			}
+		}
+		if fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					if !isValueCopyExpr(rhs) {
+						continue
+					}
+					// `_ = x` discards the value: nothing is copied.
+					if i < len(s.Lhs) && isBlank(s.Lhs[i]) {
+						continue
+					}
+					if name, ok := containsLock(info.TypeOf(rhs), 0); ok {
+						pass.Reportf(s.Rhs[i].Pos(), "assignment copies %s by value: use a pointer", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if name, ok := containsLock(info.TypeOf(s.Value), 0); ok {
+						pass.Reportf(s.Value.Pos(), "range value copies %s per iteration: range over indices or pointers", name)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range s.Args {
+					if !isValueCopyExpr(arg) {
+						continue
+					}
+					if name, ok := containsLock(info.TypeOf(arg), 0); ok {
+						pass.Reportf(arg.Pos(), "call argument copies %s by value: pass a pointer", name)
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isValueCopyExpr reports whether evaluating e copies an existing value
+// (as opposed to constructing a fresh one, which is fine).
+func isValueCopyExpr(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// --- mixed atomic / non-atomic field access ----------------------------
+
+func checkAtomicMix(pass *Pass) {
+	info := pass.TypesInfo
+
+	// Pass 1: fields and variables whose address feeds a sync/atomic
+	// call, and the extent of every atomic call (plain uses inside an
+	// atomic call's own arguments are by definition atomic).
+	atomicObjs := make(map[types.Object]bool)
+	type span struct{ lo, hi token.Pos }
+	var atomicCalls []span
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			atomicCalls = append(atomicCalls, span{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObj(info, un.X); obj != nil {
+					atomicObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	inAtomicCall := func(pos token.Pos) bool {
+		for _, s := range atomicCalls {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other use of those objects must be atomic too.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || inAtomicCall(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "non-atomic access to %s, which is elsewhere accessed via sync/atomic: every access must be atomic (or use a typed atomic field)", id.Name)
+			return true
+		})
+	}
+}
+
+// addressedObj resolves &expr to the field or variable object being
+// addressed: &s.f -> f, &x -> x.
+func addressedObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return addressedObj(info, x.X)
+	}
+	return nil
+}
+
+// --- blocking calls while a mutex is held ------------------------------
+
+// blockingSolverEntryPoints are this module's long-running entry points:
+// holding a server or recorder mutex across one of them serializes the
+// whole daemon behind a single solve.
+var blockingSolverEntryPoints = map[string]bool{
+	"Solve": true, "SolveBatch": true, "Search": true,
+}
+
+func checkBlockingUnderLock(pass *Pass, body *ast.BlockStmt) {
+	walkLocked(pass, body.List, make(map[types.Object]token.Pos))
+}
+
+// walkLocked scans a statement list in order, tracking which mutexes are
+// held. Nested blocks inherit a copy of the current state; their own
+// Lock/Unlock effects stay local (conservative in both directions, which
+// is the right trade for a linter).
+func walkLocked(pass *Pass, stmts []ast.Stmt, held map[types.Object]token.Pos) {
+	info := pass.TypesInfo
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if mu, locked := lockStateChange(info, call); mu != nil {
+					if locked {
+						held[mu] = call.Pos()
+					} else {
+						delete(held, mu)
+					}
+					continue
+				}
+			}
+			reportBlocking(pass, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() holds the lock for the rest of the
+			// function — keep it in the held set; blocking calls after it
+			// are exactly the ones that matter.
+			continue
+		case *ast.GoStmt:
+			// Starting a goroutine never blocks; its body runs unlocked.
+			continue
+		case *ast.BlockStmt:
+			walkLocked(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			reportBlockingExpr(pass, s.Cond, s.Cond.Pos(), held)
+			walkLocked(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				walkLocked(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			walkLocked(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			reportBlockingExpr(pass, s.X, s.X.Pos(), held)
+			walkLocked(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				pos := mustAnyPos(held)
+				pass.Reportf(s.Pos(), "select with no default while holding the mutex locked at %s: blocks every contender", pass.Fset.Position(pos))
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLocked(pass, cc.Body, copyHeld(held))
+				}
+			}
+		default:
+			reportBlocking(pass, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func mustAnyPos(held map[types.Object]token.Pos) token.Pos {
+	best := token.Pos(0)
+	for _, p := range held {
+		if best == 0 || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// lockStateChange classifies mu.Lock()/RLock() and mu.Unlock()/RUnlock()
+// calls, returning the mutex variable's object.
+func lockStateChange(info *types.Info, call *ast.CallExpr) (mu types.Object, locked bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locked = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false
+	}
+	recv := info.TypeOf(sel.X)
+	if !namedFrom(recv, "sync", "Mutex") && !namedFrom(recv, "sync", "RWMutex") {
+		return nil, false
+	}
+	// Identify the mutex by the full selector path's final object: s.mu
+	// and t.mu stay distinct.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return useObj(info, x), locked
+	case *ast.SelectorExpr:
+		return useObj(info, x.Sel), locked
+	case *ast.UnaryExpr:
+		if b := baseIdent(x.X); b != nil {
+			return useObj(info, b), locked
+		}
+	}
+	return nil, false
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBlocking flags blocking operations syntactically inside stmt
+// while any mutex is held — except inside nested select statements and
+// function literals, which walkLocked and goroutine boundaries handle.
+func reportBlocking(pass *Pass, stmt ast.Stmt, held map[types.Object]token.Pos) {
+	if len(held) > 0 {
+		reportBlockingExpr(pass, stmt, stmt.Pos(), held)
+	}
+}
+
+func reportBlockingExpr(pass *Pass, n ast.Node, pos token.Pos, held map[types.Object]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	info := pass.TypesInfo
+	lockPos := pass.Fset.Position(mustAnyPos(held))
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own frame/goroutine
+		case *ast.SelectStmt:
+			return false // handled by walkLocked (default-aware)
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send while holding the mutex locked at %s: a full channel blocks every contender", lockPos)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(), "channel receive while holding the mutex locked at %s: an empty channel blocks every contender", lockPos)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				switch {
+				case fn.Pkg() != nil && fn.Pkg().Path() == "net/http":
+					pass.Reportf(x.Pos(), "net/http call %s while holding the mutex locked at %s: a round-trip's latency serializes every contender", fn.Name(), lockPos)
+				case blockingSolverEntryPoints[fn.Name()] && isMethod(fn):
+					pass.Reportf(x.Pos(), "%s called while holding the mutex locked at %s: a solve's full wall time serializes every contender", fn.Name(), lockPos)
+				case fn.Name() == "Wait" && isMethod(fn) && waitableRecv(fn):
+					pass.Reportf(x.Pos(), "%s.Wait while holding the mutex locked at %s", recvTypeName(fn), lockPos)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func waitableRecv(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	t := sig.Recv().Type()
+	return namedFrom(t, "sync", "WaitGroup") || namedFrom(t, "sync", "Cond")
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return fmt.Sprintf("%s.%s", n.Obj().Pkg().Name(), n.Obj().Name())
+	}
+	return t.String()
+}

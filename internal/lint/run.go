@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// Result is one multichecker run: the surviving diagnostics plus the
+// escape-hatch ledger.
+type Result struct {
+	// Diagnostics are the findings not covered by an allow, sorted by
+	// position. A non-empty slice fails the run.
+	Diagnostics []Diagnostic
+	// Allows are every parsed //nclint:allow directive, sorted by
+	// position, with per-directive use counts filled in. Directives that
+	// suppressed nothing have Used == 0 and are also surfaced as
+	// diagnostics — a stale allow is a hole in the contract.
+	Allows []*Allow
+	// Packages counts the analysis units checked (test variants and
+	// external test packages count separately).
+	Packages int
+	// TypeErrors collects the loader's non-fatal type-check problems
+	// (analysis ran best-effort past them).
+	TypeErrors []error
+}
+
+// Suppressed sums the uses across all allows.
+func (r *Result) Suppressed() int {
+	n := 0
+	for _, a := range r.Allows {
+		n += a.Used
+	}
+	return n
+}
+
+// Run loads patterns from dir and applies the analyzers, resolving
+// //nclint:allow directives. This is the whole nclint pipeline behind the
+// CLI: the command only adds flag parsing and printing.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers), nil
+}
+
+// RunPackages applies the analyzers to already-loaded packages.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{Packages: len(pkgs)}
+	var raw []Diagnostic
+	var allAllows []*Allow
+	for _, p := range pkgs {
+		res.TypeErrors = append(res.TypeErrors, p.TypeErrors...)
+		allows, bad := parseAllows(p)
+		allAllows = append(allAllows, allows...)
+		for _, m := range bad {
+			raw = append(raw, Diagnostic{Analyzer: "nclint", Pos: m.Pos, Message: m.Err})
+		}
+		for _, a := range analyzers {
+			if a.Packages != nil && !pathMatches(p.Path, a.Packages) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				PkgPath:   p.Path,
+				report:    func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				raw = append(raw, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      p.Fset.Position(firstPos(p)),
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+
+	idx := indexAllows(allAllows)
+	seen := make(map[Diagnostic]bool)
+	for _, d := range raw {
+		if idx.suppress(d) {
+			continue
+		}
+		// The in-package test variant re-analyzes the plain files; a
+		// finding at one position is reported once.
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	// Deduplicate allows shared between a plain unit and its test
+	// variant (same file, same line): keep the used one, merge counts.
+	res.Allows = dedupeAllows(allAllows)
+	for _, a := range res.Allows {
+		if a.Used == 0 {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: "nclint",
+				Pos:      a.Pos,
+				Message:  fmt.Sprintf("stale //nclint:allow %s: suppresses nothing (drop it or fix the reason)", a.Analyzer),
+			})
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	sortAllows(res.Allows)
+	return res
+}
+
+func dedupeAllows(allows []*Allow) []*Allow {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	merged := make(map[key]*Allow)
+	var out []*Allow
+	for _, a := range allows {
+		k := key{a.Pos.Filename, a.Pos.Line, a.Analyzer}
+		if prev, ok := merged[k]; ok {
+			prev.Used += a.Used
+			continue
+		}
+		merged[k] = a
+		out = append(out, a)
+	}
+	return out
+}
+
+func firstPos(p *Package) token.Pos {
+	if len(p.Files) > 0 {
+		return p.Files[0].Pos()
+	}
+	return token.NoPos
+}
+
+// Print writes the run's findings and the allow ledger in the fixed
+// format CI and humans both read.
+func (r *Result) Print(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d)
+	}
+	if len(r.Allows) > 0 {
+		fmt.Fprintf(w, "nclint: %d //nclint:allow directive(s) in effect, %d diagnostic(s) suppressed:\n", len(r.Allows), r.Suppressed())
+		for _, a := range r.Allows {
+			fmt.Fprintf(w, "  %s:%d: allow %s (x%d) -- %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Used, a.Reason)
+		}
+	}
+	if len(r.Diagnostics) == 0 {
+		fmt.Fprintf(w, "nclint: ok (%d packages)\n", r.Packages)
+	}
+}

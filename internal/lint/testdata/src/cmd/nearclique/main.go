@@ -1,0 +1,14 @@
+// Command nearclique (fixture) shares the module root's last path
+// element but is NOT in transcript scope: the bare "nearclique" scope
+// entry must not suffix-match cmd/nearclique, so the wall-clock read
+// below stays unflagged.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now().Unix())
+}

@@ -1,0 +1,3 @@
+module nearclique
+
+go 1.22

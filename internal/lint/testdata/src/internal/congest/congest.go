@@ -1,0 +1,110 @@
+// Package congest is a determinism fixture: its import path puts it in
+// nclint's transcript-affecting scope, so forbidden imports, wall-clock
+// reads, racy selects, and order-sensitive map iteration are all flagged
+// here. Each clean function pins a pattern the analyzer must NOT flag.
+package congest
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand`
+	"sort"
+	"time"
+)
+
+func draw() int64 { return rand.Int63() }
+
+func stamp() int64 {
+	return time.Now().Unix() // want `call to time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since`
+}
+
+// collect appends in map order and never sorts: flagged.
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside unordered map iteration`
+	}
+	return out
+}
+
+// collectSorted sorts after the loop: the append is order-free.
+func collectSorted(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// lastWriter keeps whichever value the randomized order visits last.
+func lastWriter(m map[int]string) string {
+	var last string
+	for _, v := range m {
+		last = v // want `assignment to last inside unordered map iteration`
+	}
+	return last
+}
+
+// sumFloats rounds differently under every visit order.
+func sumFloats(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+// countInts is commutative integer accumulation: clean.
+func countInts(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// invert writes under the range variable's key: order-free, clean.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// emit prints in map order: bytes leave nondeterministically.
+func emit(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want `formatted output inside unordered map iteration`
+	}
+}
+
+// pump races two ready channels inside a loop: the scheduler picks.
+func pump(a, b chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		select { // want `select over 2 channels`
+		case v := <-a:
+			total += v
+		case v := <-b:
+			total += v
+		}
+	}
+	return total
+}
+
+// drainOne selects over a single channel: no race to flag.
+func drainOne(a chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-a:
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+package congest
+
+import "context"
+
+// metrics carries the round counter the ctxflow analyzer keys on.
+type metrics struct {
+	Rounds int
+}
+
+// spin advances rounds without ever consulting a context: flagged.
+func spin(m *metrics, deg int) {
+	for m.Rounds < deg { // want `round-emitting loop never observes cancellation`
+		m.Rounds++
+	}
+}
+
+// spinWithCtx checks ctx.Err every round: clean.
+func spinWithCtx(ctx context.Context, m *metrics, deg int) {
+	for m.Rounds < deg {
+		if ctx.Err() != nil {
+			return
+		}
+		m.Rounds++
+	}
+}
+
+// spinDelegating passes the context into the body: the callee observes
+// cancellation, so the loop is clean.
+func spinDelegating(ctx context.Context, m *metrics, deg int) {
+	for m.Rounds < deg {
+		step(ctx, m)
+	}
+}
+
+func step(ctx context.Context, m *metrics) {
+	if ctx.Err() == nil {
+		m.Rounds++
+	}
+}

@@ -1,0 +1,19 @@
+// Package refine exercises the //nclint:allow escape hatch: a directive
+// that suppresses a real finding, a stale directive that suppresses
+// nothing, and two malformed ones. The expectations live in
+// TestAllowLedger rather than want comments, because stale-allow
+// diagnostics land on the directive's own line.
+package refine
+
+import "math/rand" //nclint:allow determinism -- fixture: pretend this routes through a counter stream
+
+func draw() int64 { return rand.Int63() }
+
+//nclint:allow determinism -- fixture: suppresses nothing on the next line
+func clean() int { return 1 }
+
+//nclint:allow locksafe
+func missingReason() int { return 2 }
+
+//nclint:allow nope -- no analyzer has this name
+func unknownAnalyzer() int { return 3 }

@@ -1,0 +1,113 @@
+// Package server is a locksafe fixture: its import path puts it in
+// nclint's serving scope, where mutex copies, mixed atomic access, and
+// blocking calls under a held lock are flagged.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// counters guards plain fields with a mutex; copying it copies the lock.
+type counters struct {
+	mu sync.Mutex
+	n  int64
+	ch chan int
+}
+
+// session stores a context: cancellation detaches from the request.
+type session struct {
+	ctx  context.Context // want `context.Context stored in a struct field`
+	name string
+}
+
+func byValue(c counters) int64 { // want `passed by value copies`
+	return c.n
+}
+
+func byPointer(c *counters) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func dup(c *counters) {
+	d := *c // want `assignment copies`
+	_ = d
+}
+
+func each(cs []counters) {
+	for _, c := range cs { // want `range value copies`
+		_ = c
+	}
+}
+
+func eachByIndex(cs []counters) int64 {
+	var total int64
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+func show(c *counters) {
+	fmt.Println(*c) // want `call argument copies`
+}
+
+// gauge is written atomically in bump, so every access must be atomic.
+type gauge struct {
+	v int64
+}
+
+func bump(g *gauge) {
+	atomic.AddInt64(&g.v, 1)
+}
+
+func read(g *gauge) int64 {
+	return g.v // want `non-atomic access to v`
+}
+
+func readAtomically(g *gauge) int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+// send blocks on a channel while the mutex is held: a full channel
+// serializes every contender behind this goroutine.
+func send(c *counters, out chan int) {
+	c.mu.Lock()
+	out <- 1 // want `channel send while holding the mutex`
+	c.mu.Unlock()
+}
+
+// sendOutside snapshots under the lock and sends after releasing: clean.
+func sendOutside(c *counters, out chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	out <- int(n)
+}
+
+// wait parks in a select with no default while holding the lock.
+func wait(c *counters) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `select with no default while holding the mutex`
+	case <-c.ch:
+	case c.ch <- 1:
+	}
+}
+
+// poll uses a default case: the select cannot block, so holding the lock
+// across it is fine.
+func poll(c *counters) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.ch:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,9 @@
+// Package nearclique is the fixture module root: the bare "nearclique"
+// scope entry matches it exactly, so transcript checks apply here.
+package nearclique
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().Unix() // want `call to time.Now`
+}

@@ -1,0 +1,46 @@
+// Package wraps is an errwrap fixture. The analyzer runs on every
+// package, so this one needs no special import path: sentinel errors
+// compared with == / != or switched on directly, and sentinels formatted
+// with a non-%w verb, are flagged; errors.Is and %w are the clean forms.
+package wraps
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errClosed = errors.New("wraps: closed")
+
+func check(err error) bool {
+	return err == errClosed // want `compared with ==`
+}
+
+func checkNot(err error) bool {
+	return errClosed != err // want `compared with !=`
+}
+
+func classify(err error) string {
+	switch err {
+	case errClosed: // want `switch case compares the error against errClosed`
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+func wrapWrongVerb(name string) error {
+	return fmt.Errorf("open %q: %v", name, errClosed) // want `formatted with %v`
+}
+
+func wrapOK(name string) error {
+	return fmt.Errorf("open %q: %w", name, errClosed)
+}
+
+func checkOK(err error) bool {
+	return errors.Is(err, errClosed)
+}
+
+// done compares against nil, which needs no unwrapping: clean.
+func done(err error) bool {
+	return err == nil
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -285,12 +286,12 @@ func TestAdmitterBoundsAndDrain(t *testing.T) {
 			t.Fatalf("queued submit %d: %v", i, err)
 		}
 	}
-	if err := a.submit(job); err != errQueueFull {
+	if err := a.submit(job); !errors.Is(err, errQueueFull) {
 		t.Fatalf("over-capacity submit: %v, want errQueueFull", err)
 	}
 	close(release)
 	a.drain()
-	if err := a.submit(func() {}); err != errDraining {
+	if err := a.submit(func() {}); !errors.Is(err, errDraining) {
 		t.Fatalf("post-drain submit: %v, want errDraining", err)
 	}
 	if acc, rej := a.accepted.Load(), a.rejected.Load(); acc != 3 || rej != 1 {

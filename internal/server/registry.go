@@ -189,13 +189,20 @@ func (r *registry) list() []report.GraphStats {
 	return out
 }
 
-// closeAll unloads every graph (shutdown path). Entries still referenced
-// by in-flight requests are closed by their final release.
+// closeAll unloads every graph (shutdown path), in name order so the
+// joined error (and thus the daemon's last words) is deterministic.
+// Entries still referenced by in-flight requests are closed by their
+// final release.
 func (r *registry) closeAll() error {
 	r.mu.Lock()
-	entries := make([]*entry, 0, len(r.entries))
-	for name, e := range r.entries {
-		entries = append(entries, e)
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*entry, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, r.entries[name])
 		delete(r.entries, name)
 	}
 	r.mu.Unlock()

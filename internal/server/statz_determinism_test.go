@@ -1,0 +1,99 @@
+package server
+
+// Byte-equality pins for the JSON aggregates: /statz and /v1/graphs are
+// assembled from registry and flight state that lives in maps, so this
+// file asserts the rendered bytes are independent of load order and of
+// repeated marshaling. Only the two legitimately wall-clock fields
+// (uptime_sec, loaded_at_unix) are normalized; any other difference —
+// a reordered graphs slice, a map-ordered section — fails the byte
+// comparison outright.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+)
+
+// volatileRE matches the fields whose values are taken from the wall
+// clock and therefore differ between requests and servers.
+var volatileRE = regexp.MustCompile(`"(uptime_sec|loaded_at_unix)":[0-9.eE+-]+`)
+
+func zeroVolatile(b []byte) []byte {
+	return volatileRE.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d body %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+// loadedServer starts a server and loads the snapshot at path under each
+// name, in the order given.
+func loadedServer(t *testing.T, path string, names []string) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Concurrency: 2, QueueDepth: 16, CacheBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	for _, name := range names {
+		status, body, _ := post(t, ts.URL+"/v1/graphs", fmt.Sprintf(`{"name":%q,"path":%q}`, name, path))
+		if status != http.StatusCreated {
+			t.Fatalf("load %s: status %d body %s", name, status, body)
+		}
+	}
+	return s, ts
+}
+
+// TestAggregateBytesAreLoadOrderIndependent loads the same three graphs
+// into two servers in different orders and requires /v1/graphs and
+// /statz to render byte-identically.
+func TestAggregateBytesAreLoadOrderIndependent(t *testing.T) {
+	path := writeTestSnapshot(t)
+	sa, tsa := loadedServer(t, path, []string{"gamma", "alpha", "beta"})
+	defer sa.Close()
+	defer tsa.Close()
+	sb, tsb := loadedServer(t, path, []string{"beta", "gamma", "alpha"})
+	defer sb.Close()
+	defer tsb.Close()
+
+	for _, endpoint := range []string{"/v1/graphs", "/statz"} {
+		a := zeroVolatile(getRaw(t, tsa.URL+endpoint))
+		b := zeroVolatile(getRaw(t, tsb.URL+endpoint))
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs with load order:\n--- gamma,alpha,beta\n%s\n--- beta,gamma,alpha\n%s", endpoint, a, b)
+		}
+	}
+}
+
+// TestAggregateBytesAreStableAcrossRequests pins repeated marshals on
+// one server: if any section were built by ranging a map into a slice,
+// Go's randomized iteration would flip the bytes between requests.
+func TestAggregateBytesAreStableAcrossRequests(t *testing.T) {
+	path := writeTestSnapshot(t)
+	s, ts := loadedServer(t, path, []string{"gamma", "alpha", "beta"})
+	defer s.Close()
+	defer ts.Close()
+
+	for _, endpoint := range []string{"/v1/graphs", "/statz"} {
+		first := zeroVolatile(getRaw(t, ts.URL+endpoint))
+		for i := 0; i < 8; i++ {
+			if again := zeroVolatile(getRaw(t, ts.URL+endpoint)); !bytes.Equal(first, again) {
+				t.Fatalf("%s bytes changed between requests (attempt %d):\n--- first\n%s\n--- now\n%s", endpoint, i, first, again)
+			}
+		}
+	}
+}
