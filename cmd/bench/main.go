@@ -38,6 +38,7 @@
 //	bench                 # full engine grid (tens of seconds)
 //	bench -quick          # small grid for CI
 //	bench -o BENCH_engine.json
+//	bench -search-batch   # engine grid plus batched ε-Search throughput rows
 //	bench -load -o BENCH_graph.json       # load-path comparison, n=1e5/1e6
 //	bench -load -input web.ncsr           # load a specific file
 //	bench -refine -o BENCH_refine.json    # base vs refined quality, n=1e4/1e5
@@ -50,6 +51,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -122,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		load    = fs.Bool("load", false, "measure graph-load paths (text parse vs snapshot mmap) instead of engines")
 		refineF = fs.Bool("refine", false, "measure base vs refined candidate quality on planted-clique workloads instead of engines")
 		flightF = fs.Bool("flight", false, "measure flight-recorder overhead (recorder on vs off) instead of engines")
+		searchB = fs.Bool("search-batch", false, "additionally measure batched ε-Search probe throughput per engine")
 		costfit = fs.Bool("costfit", false, "fit the admission cost model on a fixed solve grid and emit it as JSON")
 		costchk = fs.Bool("costcheck", false, "re-solve the fixed grid and fail on >3x drift vs the committed cost model")
 		model   = fs.String("model", "COSTMODEL.json", "with -costcheck: the committed cost-model artifact to check against")
@@ -199,6 +202,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		rep.Results = append(rep.Results, gossipBenchmarks(stderr, *quick, *seed)...)
 		rep.Results = append(rep.Results, findBenchmarks(stderr, *quick, *seed)...)
+		if *searchB {
+			results, err := searchBatchBenchmarks(stderr, *quick, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "bench:", err)
+				return 1
+			}
+			rep.Results = append(rep.Results, results...)
+		}
 		payload = rep
 	}
 
@@ -752,6 +763,114 @@ func solveTranscript(res *nearclique.Result) string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
+// --- search: batched ε-bisection probe throughput -------------------------
+
+// searchPoint is one -search-batch workload: a planted instance searched
+// (full ε bisection) across Seeds independent coin seeds on each listed
+// engine.
+type searchPoint struct {
+	pt      expt.ScalePoint
+	engines []nearclique.Engine
+	seeds   int
+}
+
+// searchPoints is the -search-batch grid. The frontier engine runs one
+// shared traversal per search (probes are threshold re-evaluations);
+// seq re-runs a full replay per probe; sharded simulates every probe —
+// the serial-probes baseline the speedup column is against. Sharded is
+// skipped at n=1e6, where nine simulated probes stop being a benchmark
+// and start being an afternoon.
+func searchPoints(quick bool) []searchPoint {
+	all := []nearclique.Engine{
+		nearclique.EngineFrontier, nearclique.EngineSequential, nearclique.EngineSharded,
+	}
+	if quick {
+		return []searchPoint{
+			{pt: expt.ScalePoint{N: 5_000, Size: 300, AvgDeg: 10}, engines: all, seeds: 2},
+		}
+	}
+	return []searchPoint{
+		{pt: expt.ScalePoint{N: 100_000, Size: 1000, AvgDeg: 12}, engines: all, seeds: 3},
+		{
+			pt:      expt.ScalePoint{N: 1_000_000, Size: 2000, AvgDeg: 10},
+			engines: []nearclique.Engine{nearclique.EngineFrontier, nearclique.EngineSequential},
+			seeds:   1,
+		},
+	}
+}
+
+// searchBatchBenchmarks measures Solver.Search throughput per engine: a
+// batch of full ε bisections over independent coin seeds, reported as
+// probes/sec and seeds/sec (searches/sec). Every engine finds the same ε
+// on the same seed — detection is engine-independent — so the rows differ
+// only in what a probe costs.
+func searchBatchBenchmarks(stderr io.Writer, quick bool, seed int64) ([]report.Measurement, error) {
+	var out []report.Measurement
+	for _, sp := range searchPoints(quick) {
+		pt := sp.pt
+		inst := expt.ScaleInstance(pt, seed)
+		inst.Graph.CSR()
+		name := fmt.Sprintf("search/planted-n%d", pt.N)
+		rho := float64(pt.Size) / 4 / float64(pt.N) // need = Size/4, the find-grid floor
+		var shardedNS int64
+		for _, eng := range sp.engines {
+			fmt.Fprintf(stderr, "bench: %s %s...\n", name, eng)
+			m := report.Measurement{
+				Workload:    name,
+				Engine:      eng.String(),
+				GraphDigest: inst.Graph.Digest(),
+				N:           inst.Graph.N(),
+				M:           inst.Graph.M(),
+				Searches:    sp.seeds,
+			}
+			runtime.GC()
+			start := time.Now()
+			for i := 0; i < sp.seeds; i++ {
+				s, err := nearclique.New(
+					nearclique.WithEngine(eng),
+					nearclique.WithExpectedSample(4*float64(pt.N)/float64(pt.Size)),
+					nearclique.WithSeed(seed+1+int64(i)),
+				)
+				if err != nil {
+					return nil, err
+				}
+				eps, _, err := s.Search(context.Background(), inst.Graph, rho)
+				switch {
+				case err == nil:
+					// A successful bisection probes εMax once plus Steps
+					// midpoints (the solver default, 8).
+					m.Probes += 9
+					if i == 0 {
+						m.FoundEps = round4(eps)
+					}
+				case errors.Is(err, nearclique.ErrNotFound):
+					m.Probes++ // the εMax probe alone
+				default:
+					return nil, fmt.Errorf("%s %s seed %d: %w", name, eng, i, err)
+				}
+			}
+			m.WallNS = time.Since(start).Nanoseconds()
+			if m.WallNS > 0 {
+				secs := float64(m.WallNS) / 1e9
+				m.ProbesPerSec = round2(float64(m.Probes) / secs)
+				m.SeedsPerSec = round2(float64(sp.seeds) / secs)
+			}
+			if eng == nearclique.EngineSharded {
+				shardedNS = m.WallNS
+			}
+			out = append(out, m)
+		}
+		if shardedNS > 0 {
+			for i := range out {
+				if out[i].Workload == name && out[i].Engine != "sharded" && out[i].WallNS > 0 {
+					out[i].SpeedupSharded = round2(float64(shardedNS) / float64(out[i].WallNS))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
 // --- cost model: fit and drift gate --------------------------------------
 
 // costDriftLimit is the CI gate: the committed model's predicted wall
@@ -764,7 +883,11 @@ const costDriftLimit = 3.0
 // minimum-sample gate even in -quick mode.
 const costFitSeeds = 4
 
-var costEngines = []nearclique.Engine{nearclique.EngineSequential, nearclique.EngineSharded}
+var costEngines = []nearclique.Engine{
+	nearclique.EngineSequential,
+	nearclique.EngineSharded,
+	nearclique.EngineFrontier,
+}
 
 // costPoints is the fixed fit/check grid. The full grid is a superset of
 // the quick one, so a committed model fitted full always has the quick

@@ -50,7 +50,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "random seed")
 		boost    = fs.Int("boost", 1, "boosting versions λ (Section 4.1)")
 		minSize  = fs.Int("minsize", 0, "disqualify near-cliques smaller than this")
-		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async (overrides -mode)")
+		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async | frontier (overrides -mode)")
 		mode     = fs.String("mode", "seq", `deprecated: "dist" (= -engine sharded) or "seq" (= -engine seq)`)
 		maxR     = fs.Int("maxrounds", 0, "deterministic round bound (0 = unlimited; simulator engines)")
 		refineFl = fs.String("refine", "", `refinement post-pass: "near[:eps]" or "quasi:gamma", optionally ",moves=N,pool=N" (empty = off)`)

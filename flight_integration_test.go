@@ -26,6 +26,7 @@ func TestFlightTranscriptsIdenticalAcrossEngines(t *testing.T) {
 		nearclique.EngineSharded,
 		nearclique.EngineLegacy,
 		nearclique.EngineAsync,
+		nearclique.EngineFrontier,
 	}
 	for _, fixture := range goldenFixtures(t) {
 		g, closeGraph, err := nearclique.LoadGraph(fixture)

@@ -49,6 +49,7 @@ func goldenConfigs() []goldenConfig {
 		{key: "seq-eps25-boost2", engine: nearclique.EngineSequential, boost: 2, epsilon: 0.25},
 		{key: "sharded-eps25-boost2", engine: nearclique.EngineSharded, boost: 2, epsilon: 0.25},
 		{key: "seq-eps25-refine-near", engine: nearclique.EngineSequential, boost: 1, epsilon: 0.25, refine: "near"},
+		{key: "frontier-eps25-boost2", engine: nearclique.EngineFrontier, boost: 2, epsilon: 0.25},
 	}
 }
 

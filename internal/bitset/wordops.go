@@ -1,0 +1,90 @@
+package bitset
+
+import "math/bits"
+
+// This file holds the word-level operations the frontier kernels are built
+// on. The existing per-bit API (Add/Contains/ForEach) is what the protocol
+// logic wants; direction-optimizing traversal instead wants to move whole
+// 64-bit words between sets and to know the resulting population counts
+// without a second scan — the popcounts are what the push/pull switch and
+// the density estimates are guided by. Every operation below is a pure
+// word-parallel loop with no data-dependent branching, so its cost is
+// ⌈n/64⌉ regardless of contents and its result is independent of any
+// iteration order.
+
+// Word returns the wi-th backing word of s (bits [64·wi, 64·wi+64)).
+// Out-of-range indices return 0, so callers may iterate a peer set's word
+// range without length checks.
+func (s *Set) Word(wi int) uint64 {
+	if wi < 0 || wi >= len(s.words) {
+		return 0
+	}
+	return s.words[wi]
+}
+
+// WordCount returns the number of backing words, ⌈Len()/64⌉.
+func (s *Set) WordCount() int { return len(s.words) }
+
+// ForEachWord calls fn(wi, w) for every nonzero backing word of s, in
+// increasing word order. It is the word-granular analogue of ForEach:
+// frontier kernels use it to visit 64 vertices per load instead of one.
+func (s *Set) ForEachWord(fn func(wi int, w uint64)) {
+	for wi, w := range s.words {
+		if w != 0 {
+			fn(wi, w)
+		}
+	}
+}
+
+// OrInto sets dst = a ∪ b and returns |dst|. All three sets must have the
+// same length; dst may alias a or b.
+func OrInto(dst, a, b *Set) int {
+	dst.sameLen(a)
+	dst.sameLen(b)
+	c := 0
+	for i := range dst.words {
+		w := a.words[i] | b.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndInto sets dst = a ∩ b and returns |dst|. All three sets must have the
+// same length; dst may alias a or b.
+func AndInto(dst, a, b *Set) int {
+	dst.sameLen(a)
+	dst.sameLen(b)
+	c := 0
+	for i := range dst.words {
+		w := a.words[i] & b.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNotInto sets dst = a \ b and returns |dst|. All three sets must have
+// the same length; dst may alias a or b.
+func AndNotInto(dst, a, b *Set) int {
+	dst.sameLen(a)
+	dst.sameLen(b)
+	c := 0
+	for i := range dst.words {
+		w := a.words[i] &^ b.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CopyFrom sets s to the contents of t and returns |s|. Lengths must match.
+func (s *Set) CopyFrom(t *Set) int {
+	s.sameLen(t)
+	c := 0
+	for i, w := range t.words {
+		s.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/flight"
+	"nearclique/internal/frontier"
+	"nearclique/internal/graph"
+)
+
+// FindFrontier runs the centralized replay on the frontier engine:
+// identical coin flips, components, thresholds, and votes as
+// FindSequential — its output is bit-for-bit equal on the same inputs
+// (asserted by the parity suites) — but component discovery runs as
+// 64-seed cluster floods with direction-optimizing waves over the CSR
+// arena instead of one serial BFS per component, and voter gathering is
+// one EdgeMap wave per component. Options.MaxRounds is ignored (there
+// are no communication rounds); everything else behaves as in Find.
+func FindFrontier(g *graph.Graph, opts Options) (*Result, error) {
+	return FindFrontierContext(context.Background(), g, opts)
+}
+
+// FindFrontierContext is FindFrontier with cooperative cancellation,
+// observed between boosting versions and between sampled components
+// like the sequential replay. Unlike the sequential replay, the engine
+// emits flight.KindRound events — one per traversal wave, carrying the
+// wave's frontier population and the arena entries it examined — so
+// /statz and the cost model see the engine's traversal structure; the
+// simulator Metrics stay zero (nothing is simulated), keeping the
+// committed transcript identical to the sequential engine's.
+func FindFrontierContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	opts, err := opts.validated(g.N())
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	res := &Result{
+		Labels:      make([]int64, n),
+		SampleSizes: make([]int, opts.Versions),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = NoLabel
+	}
+
+	scratch := getSeqScratch()
+	defer putSeqScratch(scratch)
+
+	ft := newFlightTrace(opts.Flight)
+	comps, err := collectComps(ctx, g, opts, scratch, ft, res, func(sc *seqComp) {
+		sc.finish(g, opts.Epsilon, opts.MinSize)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	ft.begin("decide")
+	decideAndCommit(g, opts, comps, res)
+	ft.end(len(comps))
+	if opts.Progress != nil {
+		opts.Progress(Progress{
+			Version: -1, Phase: "decide",
+			Step: opts.Versions + 1, Total: opts.Versions + 1,
+		})
+	}
+	return res, nil
+}
+
+// collectComps runs the ε-invariant half of a frontier replay: the
+// sampling coins (drawn from the pooled counter streams exactly as
+// every other engine draws them), 64-seed batched component discovery,
+// and one EdgeMap voter-gather wave per component. visit observes each
+// component in transcript order — the engine finishes thresholds there,
+// the search cache captures adjacency instead. Shared so that a solve
+// and a search probe provably traverse identically.
+func collectComps(ctx context.Context, g *graph.Graph, opts Options, scratch *seqScratch, ft *flightTrace, res *Result, visit func(sc *seqComp)) ([]*seqComp, error) {
+	n := g.N()
+	ids := congest.PermutedIDs(n, opts.Seed)
+	rngs := scratch.bank.Rands(opts.Seed, n)
+	fsc := scratch.frontierSets(n)
+
+	p1 := opts.P / 2
+	p2 := 0.0
+	if p1 < 1 {
+		p2 = (opts.P - p1) / (1 - p1)
+	}
+
+	var comps []*seqComp
+	for ver := 0; ver < opts.Versions; ver++ {
+		if err := ctx.Err(); err != nil {
+			return comps, fmt.Errorf("core: frontier run interrupted at version %d: %w", ver, err)
+		}
+		ft.begin(fmt.Sprintf("v%d/explore", ver))
+		inS := scratch.inS
+		inS.Clear()
+		for v := 0; v < n; v++ {
+			c1 := rngs[v].Float64() < p1
+			c2 := rngs[v].Float64() < p2
+			if c1 || c2 {
+				inS.Add(v)
+			}
+		}
+		res.SampleSizes[ver] = inS.Count()
+
+		for ci, members := range frontier.Components(g, inS, fsc, ft.onWave()) {
+			if ci%seqCtxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return comps, fmt.Errorf("core: frontier run interrupted at version %d: %w", ver, err)
+				}
+			}
+			if len(members) > res.MaxComponent {
+				res.MaxComponent = len(members)
+			}
+			if len(members) > opts.MaxComponentSize {
+				return comps, fmt.Errorf("%w: %d > %d (lower the sampling probability)",
+					ErrComponentTooLarge, len(members), opts.MaxComponentSize)
+			}
+			sc := newSeqComp(ids, members, ver)
+
+			// Voters in one EdgeMap wave: Γ(members) \ S, plus the
+			// members themselves — exactly the tree nodes and claimants
+			// of the distributed protocol.
+			memberSet := scratch.memberSet
+			memberSet.Clear()
+			for _, m := range members {
+				memberSet.Add(m)
+			}
+			frontier.EdgeMap(g, memberSet, inS, scratch.voterSet)
+			for _, m := range members {
+				scratch.voterSet.Add(m)
+			}
+			sc.voters = scratch.voterSet.Indices()
+			sc.voterIdx = make(map[int]int, len(sc.voters))
+			for i, u := range sc.voters {
+				sc.voterIdx[u] = i
+			}
+
+			visit(sc)
+			comps = append(comps, sc)
+		}
+		ft.end(res.SampleSizes[ver])
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Version: ver, Phase: fmt.Sprintf("v%d/explore", ver),
+				Step: ver + 1, Total: opts.Versions + 1,
+			})
+		}
+	}
+	return comps, nil
+}
+
+// flightTrace adapts the flight recorder to the frontier engine's event
+// stream: one KindRound per traversal wave (Frontier = wave population,
+// Frames = arena entries examined, Bytes = the 4-byte targets those
+// loads moved), one KindPhase per boosting version plus the decision
+// stage, with heap deltas sampled only at phase boundaries like every
+// other engine. A nil *flightTrace is valid and free: every method
+// no-ops, so the hot path carries no recorder branches of its own.
+type flightTrace struct {
+	rec    *flight.Recorder
+	heap   int64
+	ord    int32
+	rounds int64 // cumulative wave index across the run
+	phaseW int64 // waves within the current phase
+	waveFn func(pop int, examined int64)
+}
+
+func newFlightTrace(rec *flight.Recorder) *flightTrace {
+	if rec == nil {
+		return nil
+	}
+	ft := &flightTrace{rec: rec, heap: flight.HeapBytes(), ord: -1}
+	ft.waveFn = func(pop int, examined int64) {
+		ft.rounds++
+		ft.phaseW++
+		ft.rec.Record(flight.Event{
+			Kind:     flight.KindRound,
+			Phase:    ft.ord,
+			Round:    ft.rounds,
+			Frontier: int32(pop),
+			Frames:   examined,
+			Bytes:    4 * examined,
+		})
+	}
+	return ft
+}
+
+func (ft *flightTrace) begin(name string) {
+	if ft == nil {
+		return
+	}
+	ft.ord = ft.rec.BeginPhase(name)
+	ft.phaseW = 0
+}
+
+func (ft *flightTrace) end(frontierSize int) {
+	if ft == nil {
+		return
+	}
+	now := flight.HeapBytes()
+	ft.rec.Record(flight.Event{
+		Kind:      flight.KindPhase,
+		Phase:     ft.ord,
+		Round:     ft.phaseW,
+		Frontier:  int32(frontierSize),
+		HeapDelta: now - ft.heap,
+	})
+	ft.heap = now
+}
+
+func (ft *flightTrace) onWave() func(pop int, examined int64) {
+	if ft == nil {
+		return nil
+	}
+	return ft.waveFn
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 
+	"nearclique/internal/bitset"
 	"nearclique/internal/congest"
+	"nearclique/internal/frontier"
 )
 
 // seqCtxCheckEvery bounds how many sampled components the sequential
@@ -12,15 +14,47 @@ import (
 // components without measurable polling overhead.
 const seqCtxCheckEvery = 64
 
-// seqScratch is the reusable per-run state of the sequential replay. The
-// dominant allocation of a run on an n-node graph is the bank of n
-// per-node RNG streams (two allocations each); everything else is sized by
-// the sample, not the graph. Batch serving solves many graphs back to
-// back, often concurrently, so the scratch lives in a sync.Pool: each
-// in-flight run owns one scratch exclusively, and parallel SolveBatch
-// workers draw distinct instances.
+// seqScratch is the reusable per-run state of the centralized engines.
+// The dominant allocation of a run on an n-node graph is the bank of n
+// per-node RNG streams (two allocations each); the frontier engine and
+// the cached search probes add the traversal scratch (frontier bitsets
+// and seed-membership words) and three sample-sized bitsets, all sized
+// by the graph, none by the run. Batch serving solves many graphs back
+// to back, often concurrently, so the scratch lives in a sync.Pool:
+// each in-flight run owns one scratch exclusively, and parallel
+// SolveBatch workers draw distinct instances.
 type seqScratch struct {
 	bank *congest.RandBank
+
+	// Frontier-engine state, sized lazily by frontierSets: the kernel
+	// scratch plus the per-version sample set and the per-component
+	// member/voter sets the EdgeMap waves read and write.
+	fsc       *frontier.Scratch
+	setsN     int
+	inS       *bitset.Set
+	memberSet *bitset.Set
+	voterSet  *bitset.Set
+}
+
+// frontierSets sizes the frontier-side scratch for an n-vertex graph
+// and returns it with every bitset cleared.
+func (s *seqScratch) frontierSets(n int) *frontier.Scratch {
+	if s.fsc == nil {
+		s.fsc = frontier.NewScratch(n)
+	} else {
+		s.fsc.Ensure(n)
+	}
+	if s.setsN != n || s.inS == nil {
+		s.setsN = n
+		s.inS = bitset.New(n)
+		s.memberSet = bitset.New(n)
+		s.voterSet = bitset.New(n)
+	} else {
+		s.inS.Clear()
+		s.memberSet.Clear()
+		s.voterSet.Clear()
+	}
+	return s.fsc
 }
 
 var seqScratchPool = sync.Pool{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nearclique/internal/flight"
 	"nearclique/internal/graph"
 )
 
@@ -34,6 +35,41 @@ type SearchOptions struct {
 	EpsMin, EpsMax float64
 	// Seed drives every probe.
 	Seed int64
+	// Flight, if non-nil, receives the probes' flight events: phase
+	// summaries from full probe runs, or the single shared traversal's
+	// wave events on the cached frontier path. Purely observational.
+	Flight *flight.Recorder
+}
+
+// normalized applies the documented defaults and bounds and derives the
+// required set size ⌈Rho·n⌉ (floor 1).
+func (so SearchOptions) normalized(n int) (SearchOptions, int, error) {
+	if so.Rho <= 0 || so.Rho > 1 {
+		return so, 0, fmt.Errorf("core: Rho %v outside (0, 1]", so.Rho)
+	}
+	if so.Steps <= 0 {
+		so.Steps = 8
+	}
+	if so.Versions <= 0 {
+		so.Versions = 4
+	}
+	if so.ExpectedSample <= 0 {
+		so.ExpectedSample = 6
+	}
+	if so.EpsMin <= 0 {
+		so.EpsMin = 0.02
+	}
+	if so.EpsMax <= 0 || so.EpsMax >= 0.5 {
+		so.EpsMax = 0.45
+	}
+	if so.EpsMin >= so.EpsMax {
+		return so, 0, fmt.Errorf("core: EpsMin %v not below EpsMax %v", so.EpsMin, so.EpsMax)
+	}
+	need := int(so.Rho * float64(n))
+	if need < 1 {
+		need = 1
+	}
+	return so, need, nil
 }
 
 // ErrNotFound is returned by SearchMinEpsilon when even the largest probed
@@ -53,39 +89,30 @@ func SearchMinEpsilon(g *graph.Graph, so SearchOptions) (float64, *Result, error
 // with an error wrapping context.Canceled or context.DeadlineExceeded —
 // cancellation is never conflated with a probe that merely found nothing.
 func SearchContext(ctx context.Context, g *graph.Graph, so SearchOptions) (float64, *Result, error) {
-	if so.Rho <= 0 || so.Rho > 1 {
-		return 0, nil, fmt.Errorf("core: Rho %v outside (0, 1]", so.Rho)
-	}
-	if so.Steps <= 0 {
-		so.Steps = 8
-	}
-	if so.Versions <= 0 {
-		so.Versions = 4
-	}
-	if so.ExpectedSample <= 0 {
-		so.ExpectedSample = 6
-	}
-	if so.EpsMin <= 0 {
-		so.EpsMin = 0.02
-	}
-	if so.EpsMax <= 0 || so.EpsMax >= 0.5 {
-		so.EpsMax = 0.45
-	}
-	if so.EpsMin >= so.EpsMax {
-		return 0, nil, fmt.Errorf("core: EpsMin %v not below EpsMax %v", so.EpsMin, so.EpsMax)
-	}
-	need := int(so.Rho * float64(g.N()))
-	if need < 1 {
-		need = 1
+	return SearchWithRunner(ctx, g, so, FindSequentialContext)
+}
+
+// SearchWithRunner is the ε-bisection driver with a pluggable probe
+// executor: run performs one full probe run (FindSequentialContext for
+// the classic path; the public Solver passes a simulator-backed closure
+// when a simulator engine is selected, so Search costs — and measures —
+// what the configured engine costs). Detection is engine-independent
+// (the engines are bit-identical), so the returned ε never depends on
+// the runner; only the Result's Metrics do.
+func SearchWithRunner(ctx context.Context, g *graph.Graph, so SearchOptions, run func(context.Context, *graph.Graph, Options) (*Result, error)) (float64, *Result, error) {
+	so, need, err := so.normalized(g.N())
+	if err != nil {
+		return 0, nil, err
 	}
 
 	probe := func(eps float64) (*Result, bool, error) {
-		res, err := FindSequentialContext(ctx, g, Options{
+		res, err := run(ctx, g, Options{
 			Epsilon:        eps,
 			ExpectedSample: so.ExpectedSample,
 			Seed:           so.Seed,
 			Versions:       so.Versions,
 			MinSize:        need,
+			Flight:         so.Flight,
 		})
 		if err != nil {
 			// Cancellation aborts the search; any other probe failure

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/graph"
+)
+
+// This file is the frontier engine's ε bisection: Solver.Search's
+// execution path for the frontier (and auto) engine. The observation
+// that makes it fast: the sampling coins depend only on (seed, node,
+// version) — a probe never draws a coin that depends on ε — so every
+// probe of the bisection shares the same samples, the same components,
+// the same voters, and the same member adjacency. SearchFrontierContext
+// therefore runs the traversal ONCE (64-seed cluster floods over the
+// CSR arena, via collectComps), caches the ε-invariant state, and
+// re-evaluates only the K/T thresholds and the decision stage per
+// probe; the full Result is materialized once, for the winning ε.
+// Detection and the returned Result are bit-identical to running
+// SearchContext (pinned by the search parity suite) — this path changes
+// only what a probe costs.
+
+// SearchFrontier is SearchFrontierContext without cancellation.
+func SearchFrontier(g *graph.Graph, so SearchOptions) (float64, *Result, error) {
+	return SearchFrontierContext(context.Background(), g, so)
+}
+
+// SearchFrontierContext bisects over ε with cached frontier probes; see
+// the file comment. Cancellation is observed between probes and inside
+// the shared traversal; the error wraps the context error.
+func SearchFrontierContext(ctx context.Context, g *graph.Graph, so SearchOptions) (float64, *Result, error) {
+	so, need, err := so.normalized(g.N())
+	if err != nil {
+		return 0, nil, err
+	}
+	scratch := getSeqScratch()
+	defer putSeqScratch(scratch)
+	cache, err := buildSearchCache(ctx, g, so, need, scratch)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	probe := func(eps float64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("core: frontier search interrupted: %w", err)
+		}
+		return cache.probe(eps), nil
+	}
+	lo, hi := so.EpsMin, so.EpsMax
+	ok, err := probe(hi)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return 0, nil, ErrNotFound
+	}
+	bestEps := hi
+	for step := 0; step < so.Steps; step++ {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			hi, bestEps = mid, mid
+		} else {
+			lo = mid
+		}
+	}
+	return bestEps, cache.materialize(bestEps), nil
+}
+
+// searchCache is the ε-invariant state shared by every probe of one
+// bisection, plus the per-probe buffers that make a probe (nearly)
+// allocation-free: threshold tables and ack counters are zeroed, never
+// reallocated.
+type searchCache struct {
+	g    *graph.Graph
+	opts Options // resolved probe options (Epsilon field unused)
+	need int
+
+	sampleSizes  []int
+	maxComponent int
+	failed       bool // an oversized component fails every probe identically
+
+	comps      []*seqComp
+	cc         []*compCache
+	voterLists [][]int32 // distinct voter -> adjacent comp indices
+
+	acked   []int32 // per-probe ack counters, indexed like comps
+	members []int   // per-probe buffer for the density check
+}
+
+// compCache is one component's ε-invariant adjacency: the kMemberCounts
+// DP table per voter (the only input the K thresholds need) and each
+// voter's neighbors-that-are-voters (the only input the T thresholds
+// need), plus the nbrK accumulation buffer reused across probes.
+type compCache struct {
+	cnts      [][]uint8
+	nbrVoters [][]int32
+	nbrK      []int32
+}
+
+// buildSearchCache runs the shared traversal and captures everything a
+// probe needs. A context error aborts (wrapped); an oversized component
+// marks the cache failed — the condition is ε-invariant, so it fails
+// every probe exactly as it fails every SearchContext probe.
+func buildSearchCache(ctx context.Context, g *graph.Graph, so SearchOptions, need int, scratch *seqScratch) (*searchCache, error) {
+	opts, err := Options{
+		Epsilon:        so.EpsMax, // any valid ε: the traversal draws no ε-dependent state
+		ExpectedSample: so.ExpectedSample,
+		Seed:           so.Seed,
+		Versions:       so.Versions,
+		MinSize:        need,
+	}.validated(g.N())
+	if err != nil {
+		return nil, err
+	}
+	c := &searchCache{g: g, opts: opts, need: need}
+	res := &Result{SampleSizes: make([]int, opts.Versions)}
+	ft := newFlightTrace(so.Flight)
+	comps, err := collectComps(ctx, g, opts, scratch, ft, res, func(sc *seqComp) {
+		c.cc = append(c.cc, newCompCache(g, sc))
+	})
+	c.sampleSizes, c.maxComponent = res.SampleSizes, res.MaxComponent
+	if err != nil {
+		if errors.Is(err, ErrComponentTooLarge) {
+			c.failed = true
+			return c, nil
+		}
+		return nil, err
+	}
+	c.comps = comps
+
+	// Decision-stage adjacency, built in first-appearance order (a
+	// deterministic order, though none is needed: ack counting is
+	// order-free and the per-voter best is a strict total order).
+	idx := make(map[int]int)
+	for ci, sc := range comps {
+		for _, u := range sc.voters {
+			j, ok := idx[u]
+			if !ok {
+				j = len(c.voterLists)
+				idx[u] = j
+				c.voterLists = append(c.voterLists, nil)
+			}
+			c.voterLists[j] = append(c.voterLists[j], int32(ci))
+		}
+	}
+	c.acked = make([]int32, len(comps))
+	return c, nil
+}
+
+// newCompCache captures one component's ε-invariant adjacency — the
+// same member-adjacency predicate and neighbor-voter scan computeKT
+// performs, evaluated once instead of once per probe — and sizes the
+// component's reusable threshold buffers.
+func newCompCache(g *graph.Graph, sc *seqComp) *compCache {
+	k := len(sc.members)
+	total := 1 << uint(k)
+	cc := &compCache{
+		cnts:      make([][]uint8, len(sc.voters)),
+		nbrVoters: make([][]int32, len(sc.voters)),
+		nbrK:      make([]int32, total),
+	}
+	for i, u := range sc.voters {
+		cc.cnts[i] = kMemberCounts(k, func(j int) bool {
+			m := int(sc.members[j])
+			return m != u && g.HasEdge(u, m)
+		})
+		var nv []int32
+		for _, w := range g.Neighbors(u) {
+			if j, ok := sc.voterIdx[int(w)]; ok {
+				nv = append(nv, int32(j))
+			}
+		}
+		cc.nbrVoters[i] = nv
+	}
+	sc.kbits = make([]*bitset.Set, len(sc.voters))
+	sc.tbits = make([]*bitset.Set, len(sc.voters))
+	for i := range sc.voters {
+		sc.kbits[i] = bitset.New(total)
+		sc.tbits[i] = bitset.New(total)
+	}
+	sc.kcounts = make([]int32, total)
+	sc.tcounts = make([]int32, total)
+	return cc
+}
+
+// evaluate recomputes every component's K/T tables and announced size
+// at ε, into the cached buffers — the same thresholds computeKT
+// applies, fed from the cached adjacency.
+func (c *searchCache) evaluate(eps float64) {
+	minSize := int32(c.need)
+	for ci, sc := range c.comps {
+		cc := c.cc[ci]
+		total := len(sc.kcounts)
+		for b := range sc.kcounts {
+			sc.kcounts[b] = 0
+		}
+		for b := range sc.tcounts {
+			sc.tcounts[b] = 0
+		}
+		for i := range sc.voters {
+			kb := sc.kbits[i]
+			kb.Clear()
+			cnt := cc.cnts[i]
+			for b := 1; b < total; b++ {
+				if meetsK(int(cnt[b]), popcount(b), eps) {
+					kb.Add(b)
+					sc.kcounts[b]++
+				}
+			}
+		}
+		// Word loops instead of ForEach closures: a probe runs this for
+		// every voter, and closure-free iteration keeps the probe
+		// allocation-flat (pinned by the allocs-per-probe benchmark).
+		for i := range sc.voters {
+			nbrK := cc.nbrK
+			for b := range nbrK {
+				nbrK[b] = 0
+			}
+			for _, j := range cc.nbrVoters[i] {
+				kb := sc.kbits[j]
+				for wi, wc := 0, kb.WordCount(); wi < wc; wi++ {
+					for w := kb.Word(wi); w != 0; w &= w - 1 {
+						nbrK[wi*64+bits.TrailingZeros64(w)]++
+					}
+				}
+			}
+			tb := sc.tbits[i]
+			tb.Clear()
+			kb := sc.kbits[i]
+			for wi, wc := 0, kb.WordCount(); wi < wc; wi++ {
+				for w := kb.Word(wi); w != 0; w &= w - 1 {
+					b := wi*64 + bits.TrailingZeros64(w)
+					if meetsOuterK(int(nbrK[b]), int(sc.kcounts[b]), eps) {
+						tb.Add(b)
+						sc.tcounts[b]++
+					}
+				}
+			}
+		}
+		sc.bStar = argmaxSubset(sc.tcounts)
+		sc.size = 0
+		if sc.bStar > 0 && sc.tcounts[sc.bStar] >= minSize {
+			sc.size = sc.tcounts[sc.bStar]
+		}
+	}
+}
+
+// bestCommitted runs the decision stage over the evaluated components
+// and returns the index of the best committed one in the finalized
+// candidate ordering (size desc, label asc, version asc), or -1.
+func (c *searchCache) bestCommitted() int {
+	acked := c.acked
+	for i := range acked {
+		acked[i] = 0
+	}
+	for _, list := range c.voterLists {
+		best := int32(-1)
+		for _, ci := range list {
+			sc := c.comps[ci]
+			if sc.size == 0 {
+				continue
+			}
+			if best < 0 || betterCandidate(sc.size, sc.rootID, int32(sc.version),
+				c.comps[best].size, c.comps[best].rootID, int32(c.comps[best].version)) {
+				best = ci
+			}
+		}
+		if best >= 0 {
+			acked[best]++
+		}
+	}
+	bestCi := -1
+	for ci, sc := range c.comps {
+		if sc.size == 0 || int(acked[ci]) != len(sc.voters) {
+			continue
+		}
+		if bestCi < 0 || candidateOrderBefore(sc, c.comps[bestCi], c.opts.Versions) {
+			bestCi = ci
+		}
+	}
+	return bestCi
+}
+
+// candidateOrderBefore reports whether a precedes b in the finalized
+// candidate ordering: size (= member count) descending, then label
+// ascending, then version ascending — the sort finalizeCandidates
+// applies, so the probe's "best" is exactly Result.Best().
+func candidateOrderBefore(a, b *seqComp, versions int) bool {
+	if a.size != b.size {
+		return a.size > b.size
+	}
+	la := a.rootID*int64(versions) + int64(a.version)
+	lb := b.rootID*int64(versions) + int64(b.version)
+	if la != lb {
+		return la < lb
+	}
+	return a.version < b.version
+}
+
+// probe reports whether ε detects: some candidate commits with ≥ need
+// members (MinSize already enforces the floor) and the best one's
+// density meets 1−ε — the identical success predicate SearchContext's
+// full probes apply.
+func (c *searchCache) probe(eps float64) bool {
+	if c.failed {
+		return false
+	}
+	c.evaluate(eps)
+	ci := c.bestCommitted()
+	if ci < 0 {
+		return false
+	}
+	sc := c.comps[ci]
+	c.members = c.members[:0]
+	for i, u := range sc.voters {
+		if sc.tbits[i].Contains(int(sc.bStar)) {
+			c.members = append(c.members, u)
+		}
+	}
+	return len(c.members) >= c.need &&
+		c.g.DensityOf(c.members) >= 1-eps-1e-9
+}
+
+// materialize builds the winning ε's full Result — labels, finalized
+// candidates, sample sizes — through the same decideAndCommit every
+// engine runs, so it is bit-identical to what a full probe at that ε
+// returns.
+func (c *searchCache) materialize(eps float64) *Result {
+	res := &Result{
+		Labels:       make([]int64, c.g.N()),
+		SampleSizes:  append([]int(nil), c.sampleSizes...),
+		MaxComponent: c.maxComponent,
+	}
+	for i := range res.Labels {
+		res.Labels[i] = NoLabel
+	}
+	c.evaluate(eps)
+	decideAndCommit(c.g, c.opts, c.comps, res)
+	return res
+}

@@ -113,17 +113,7 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 				return res, fmt.Errorf("%w: %d > %d (lower the sampling probability)",
 					ErrComponentTooLarge, len(members), opts.MaxComponentSize)
 			}
-			sc := &seqComp{version: ver}
-			sc.members = make([]int32, len(members))
-			rootIdx, rootID := members[0], ids[members[0]]
-			for i, m := range members {
-				sc.members[i] = int32(m)
-				if ids[m] < rootID {
-					rootIdx, rootID = m, ids[m]
-				}
-			}
-			sc.rootIdx = int32(rootIdx)
-			sc.rootID = rootID
+			sc := newSeqComp(ids, members, ver)
 
 			// Voters: all members plus every non-sampled neighbor of a
 			// member — exactly the tree nodes and claimants of the
@@ -144,15 +134,7 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 				sc.voterIdx[u] = i
 			}
 
-			sc.computeKT(g, opts.Epsilon)
-			sc.bStar = argmaxSubset(sc.tcounts)
-			minSize := int32(opts.MinSize)
-			if minSize < 1 {
-				minSize = 1
-			}
-			if sc.bStar > 0 && sc.tcounts[sc.bStar] >= minSize {
-				sc.size = sc.tcounts[sc.bStar]
-			}
+			sc.finish(g, opts.Epsilon, opts.MinSize)
 			comps = append(comps, sc)
 		}
 		recordStep(fmt.Sprintf("v%d/explore", ver), res.SampleSizes[ver])
@@ -166,57 +148,7 @@ func FindSequentialContext(ctx context.Context, g *graph.Graph, opts Options) (*
 
 	// Decision stage: every voter acks its best adjacent candidate and
 	// aborts the rest; a candidate commits iff no adjacent voter aborted.
-	type voterCand struct {
-		sc  *seqComp
-		key candKey
-	}
-	adj := make(map[int][]voterCand)
-	for _, sc := range comps {
-		key := candKey{rootIdx: sc.rootIdx, version: int32(sc.version)}
-		for _, u := range sc.voters {
-			adj[u] = append(adj[u], voterCand{sc: sc, key: key})
-		}
-	}
-	acked := make(map[candKey]int) // candidate -> ack count
-	for u, cands := range adj {
-		_ = u
-		bestI := -1
-		for i, c := range cands {
-			if c.sc.size == 0 {
-				continue
-			}
-			if bestI < 0 || betterCandidate(c.sc.size, c.sc.rootID, c.key.version,
-				cands[bestI].sc.size, cands[bestI].sc.rootID, cands[bestI].key.version) {
-				bestI = i
-			}
-		}
-		if bestI >= 0 {
-			acked[cands[bestI].key]++
-		}
-	}
-
-	var out []Candidate
-	for _, sc := range comps {
-		key := candKey{rootIdx: sc.rootIdx, version: int32(sc.version)}
-		if sc.size == 0 || acked[key] != len(sc.voters) {
-			continue
-		}
-		label := sc.rootID*int64(opts.Versions) + int64(sc.version)
-		var membersOut []int
-		for i, u := range sc.voters {
-			if sc.tbits[i].Contains(int(sc.bStar)) {
-				res.Labels[u] = label
-				membersOut = append(membersOut, u)
-			}
-		}
-		out = append(out, Candidate{
-			Label:   label,
-			Version: sc.version,
-			Members: membersOut,
-			SubsetX: decodeSubset(sc.members, sc.bStar),
-		})
-	}
-	res.Candidates = finalizeCandidates(g, out)
+	decideAndCommit(g, opts, comps, res)
 	recordStep("decide", len(comps))
 	if opts.Progress != nil {
 		opts.Progress(Progress{

@@ -88,6 +88,10 @@ func TestSolverSolveMatchesLegacyFind(t *testing.T) {
 			{nearclique.EngineAuto, legacySeq},
 			{nearclique.EngineSequential, legacySeq},
 			{nearclique.EngineSharded, legacyDist},
+			// The frontier engine simulates nothing, so its transcript —
+			// including the zero metrics block — must equal the sequential
+			// reference bit for bit.
+			{nearclique.EngineFrontier, legacySeq},
 		}
 		for _, tc := range cases {
 			res, err := paritySolver(t, tc.engine).Solve(ctx, g)
@@ -121,7 +125,9 @@ func TestSolveBatchMatchesSoloSolves(t *testing.T) {
 		graphs = append(graphs, g, g, g) // replicas: exercises scratch reuse
 		names = append(names, name, name, name)
 	}
-	for _, engine := range []nearclique.Engine{nearclique.EngineSequential, nearclique.EngineSharded} {
+	for _, engine := range []nearclique.Engine{
+		nearclique.EngineSequential, nearclique.EngineSharded, nearclique.EngineFrontier,
+	} {
 		s, err := nearclique.New(
 			nearclique.WithEngine(engine),
 			nearclique.WithEpsilon(0.25),

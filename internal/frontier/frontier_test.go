@@ -1,0 +1,266 @@
+package frontier
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nearclique/internal/bitset"
+	"nearclique/internal/gen"
+	"nearclique/internal/graph"
+)
+
+// randomGraph builds an Erdős–Rényi graph through the sparse builder so
+// tests control density precisely (gen's constructors are also used
+// where a planted or extreme instance is wanted).
+func randomGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewSparseBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomSubset(n int, density float64, seed int64) *bitset.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := bitset.New(n)
+	for v := 0; v < n; v++ {
+		if rng.Float64() < density {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// naiveEdgeMap is the set-algebraic model: Γ(front) \ visited.
+func naiveEdgeMap(g *graph.Graph, front, visited *bitset.Set) *bitset.Set {
+	next := bitset.New(g.N())
+	front.ForEach(func(v int) {
+		for _, t := range g.Neighbors(v) {
+			if !visited.Contains(int(t)) {
+				next.Add(int(t))
+			}
+		}
+	})
+	return next
+}
+
+func TestEdgeMapPushPullEquivalence(t *testing.T) {
+	for trial := int64(0); trial < 30; trial++ {
+		n := 20 + int(trial)*7
+		g := randomGraph(n, 0.02+float64(trial)*0.02, trial)
+		front := randomSubset(n, 0.05+float64(trial%10)*0.09, trial+100)
+		visited := randomSubset(n, 0.3, trial+200)
+		want := naiveEdgeMap(g, front, visited)
+
+		push := bitset.New(n)
+		edgeMapPush(g, front, visited, push)
+		pull := bitset.New(n)
+		edgeMapPull(g, front, visited, pull)
+		auto := bitset.New(n)
+		EdgeMap(g, front, visited, auto)
+
+		for v := 0; v < n; v++ {
+			if push.Contains(v) != want.Contains(v) {
+				t.Fatalf("trial %d: push bit %d != model", trial, v)
+			}
+			if pull.Contains(v) != want.Contains(v) {
+				t.Fatalf("trial %d: pull bit %d != model", trial, v)
+			}
+			if auto.Contains(v) != want.Contains(v) {
+				t.Fatalf("trial %d: EdgeMap bit %d != model", trial, v)
+			}
+		}
+	}
+}
+
+// FuzzEdgeMap pins push ≡ pull on fuzz-generated graphs and frontiers:
+// same next set, always — only the examined count may differ.
+func FuzzEdgeMap(f *testing.F) {
+	f.Add(uint8(12), []byte{1, 2, 3, 4, 9, 30}, []byte{0, 1}, []byte{2})
+	f.Add(uint8(40), []byte{0, 1, 0, 2, 0, 3, 1, 2}, []byte{0}, []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint8, edges, frontRaw, visitedRaw []byte) {
+		n := 2 + int(nRaw)%80
+		b := graph.NewSparseBuilder(n)
+		for i := 0; i+1 < len(edges); i += 2 {
+			u, v := int(edges[i])%n, int(edges[i+1])%n
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		front, visited := bitset.New(n), bitset.New(n)
+		for _, x := range frontRaw {
+			front.Add(int(x) % n)
+		}
+		for _, x := range visitedRaw {
+			visited.Add(int(x) % n)
+		}
+		push := bitset.New(n)
+		edgeMapPush(g, front, visited, push)
+		pull := bitset.New(n)
+		edgeMapPull(g, front, visited, pull)
+		for v := 0; v < n; v++ {
+			if push.Contains(v) != pull.Contains(v) {
+				t.Fatalf("push/pull diverge at vertex %d (n=%d)", v, n)
+			}
+		}
+	})
+}
+
+func TestEdgeMapDirectionSwitch(t *testing.T) {
+	// A dense frontier on a dense graph must pull; a single low-degree
+	// vertex must push. This guards the threshold wiring, not the rule.
+	g := gen.Complete(64)
+	g.CSR()
+	all := bitset.New(64)
+	for v := 0; v < 64; v++ {
+		all.Add(v)
+	}
+	if _, pulled := EdgeMap(g, all, bitset.New(64), bitset.New(64)); !pulled {
+		t.Fatal("full frontier on K64 did not pull")
+	}
+	one := bitset.New(64)
+	one.Add(0)
+	sparse := randomGraph(64, 0.05, 1)
+	if _, pulled := EdgeMap(sparse, one, bitset.New(64), bitset.New(64)); pulled {
+		t.Fatal("singleton frontier on a sparse graph pulled")
+	}
+}
+
+func TestClusterBFSWordsMatchConnectivity(t *testing.T) {
+	for trial := int64(0); trial < 20; trial++ {
+		n := 30 + int(trial)*11
+		// Vary density across trials so both clusterPush and clusterPull
+		// waves occur.
+		g := randomGraph(n, 0.01+float64(trial)*0.03, trial)
+		sub := randomSubset(n, 0.6, trial+50)
+		comps := g.ComponentsOf(sub)
+
+		var seeds []int
+		seedComp := map[int]int{} // seed index -> component index
+		for ci, c := range comps {
+			if len(seeds) == 64 {
+				break
+			}
+			seedComp[len(seeds)] = ci
+			seeds = append(seeds, c[len(c)/2])
+		}
+		if len(seeds) == 0 {
+			continue
+		}
+		compOf := make([]int, n)
+		for i := range compOf {
+			compOf[i] = -1
+		}
+		for ci, c := range comps {
+			for _, v := range c {
+				compOf[v] = ci
+			}
+		}
+
+		sc := NewScratch(n)
+		ClusterBFS(g, sub, seeds, sc, nil)
+		for v := 0; v < n; v++ {
+			var want uint64
+			if sub.Contains(v) {
+				for si, ci := range seedComp {
+					if compOf[v] == ci {
+						want |= 1 << uint(si)
+					}
+				}
+			}
+			if sc.words[v] != want {
+				t.Fatalf("trial %d: words[%d] = %b, want %b", trial, v, sc.words[v], want)
+			}
+		}
+	}
+}
+
+func TestComponentsMatchesGraphComponentsOf(t *testing.T) {
+	cases := []*graph.Graph{
+		randomGraph(50, 0.01, 1),   // many singletons: several 64-seed batches
+		randomGraph(200, 0.005, 2), // > 64 components, multi-batch ordering
+		randomGraph(120, 0.05, 3),
+		gen.SparsePlantedNearClique(500, 80, 0.02, 6, 4).Graph,
+		gen.Complete(70),
+		gen.Empty(130),
+	}
+	sc := NewScratch(1)
+	for i, g := range cases {
+		g.CSR()
+		for s := int64(0); s < 4; s++ {
+			sub := randomSubset(g.N(), 0.2+0.25*float64(s), 31*int64(i)+s)
+			want := g.ComponentsOf(sub)
+			got := Components(g, sub, sc, nil)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("case %d sub %d: Components diverges from graph.ComponentsOf:\ngot  %v\nwant %v",
+					i, s, got, want)
+			}
+			// Reuse invariant: the scratch words must be all-zero again.
+			for v, w := range sc.words {
+				if w != 0 {
+					t.Fatalf("case %d: words[%d] = %b left nonzero after Components", i, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborhoodsMatchesNeighbors(t *testing.T) {
+	graphs := []*graph.Graph{
+		randomGraph(80, 0.03, 7),
+		gen.Complete(90), // pull path: any seed batch crosses the threshold
+		gen.SparsePlantedNearClique(300, 60, 0.02, 8, 8).Graph,
+	}
+	rng := rand.New(rand.NewSource(9))
+	for gi, g := range graphs {
+		g.CSR()
+		n := g.N()
+		var seeds []int
+		for i := 0; i < 70; i++ { // > 64: exercises batching
+			seeds = append(seeds, rng.Intn(n))
+		}
+		seeds = append(seeds, seeds[0], seeds[3]) // duplicates share content
+		rows := Neighborhoods(g, seeds)
+		if len(rows) != len(seeds) {
+			t.Fatalf("graph %d: %d rows for %d seeds", gi, len(rows), len(seeds))
+		}
+		for i, s := range seeds {
+			want := g.Neighbors(s)
+			if len(rows[i]) != len(want) {
+				t.Fatalf("graph %d seed %d (v%d): %d neighbors, want %d",
+					gi, i, s, len(rows[i]), len(want))
+			}
+			for j := range want {
+				if rows[i][j] != want[j] {
+					t.Fatalf("graph %d seed %d (v%d): entry %d = %d, want %d",
+						gi, i, s, j, rows[i][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierEdgesCounts(t *testing.T) {
+	g := randomGraph(60, 0.1, 5)
+	s := randomSubset(60, 0.4, 6)
+	edges, pop := FrontierEdges(g, s)
+	var wantE int64
+	wantP := 0
+	s.ForEach(func(v int) {
+		wantE += int64(g.Degree(v))
+		wantP++
+	})
+	if edges != wantE || pop != wantP {
+		t.Fatalf("FrontierEdges = (%d, %d), want (%d, %d)", edges, pop, wantE, wantP)
+	}
+}

@@ -1,0 +1,71 @@
+package frontier
+
+import (
+	"nearclique/internal/bitset"
+	"nearclique/internal/graph"
+)
+
+// Neighborhoods returns the open neighbor list of every seed vertex,
+// index-aligned with seeds, each sorted ascending — element i is
+// exactly g.Neighbors(seeds[i]) by content. Up to 64 seeds are served
+// per pass, direction-optimized like a wave: when the seeds' combined
+// degree is small each list aliases the seed's arena row (push: zero
+// copies); when it crosses the Ligra threshold one pull sweep over the
+// whole arena fills all 64 lists at once, turning 64 scattered row
+// walks into a single sequential pass. Either way the content is
+// identical — (u, s) is an arena entry iff (s, u) is — so callers
+// (the refine grow-pool seeding) see bit-identical pools regardless of
+// direction.
+func Neighborhoods(g *graph.Graph, seeds []int) [][]int32 {
+	out := make([][]int32, len(seeds))
+	for base := 0; base < len(seeds); base += 64 {
+		batch := seeds[base:]
+		if len(batch) > 64 {
+			batch = batch[:64]
+		}
+		neighborhoodBatch(g, batch, out[base:base+len(batch)])
+	}
+	return out
+}
+
+func neighborhoodBatch(g *graph.Graph, seeds []int, out [][]int32) {
+	offsets, targets := g.Arena()
+	var degSum int64
+	for _, s := range seeds {
+		degSum += offsets[s+1] - offsets[s]
+	}
+	if degSum <= int64(2*g.M())/DenseFraction {
+		// Push: the rows are already sorted arena sub-slices; alias them.
+		for i, s := range seeds {
+			out[i] = targets[offsets[s]:offsets[s+1]]
+		}
+		return
+	}
+	// Pull: one sweep over every row, routing each (u, seed) entry into
+	// the seed's list. Scanning u ascending yields each list ascending,
+	// matching the arena row's order exactly.
+	isSeed := bitset.New(g.N())
+	slot := make(map[int]int, len(seeds))
+	for i, s := range seeds {
+		isSeed.Add(s)
+		if _, dup := slot[s]; !dup {
+			slot[s] = i
+		}
+		out[i] = nil
+	}
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for _, t := range targets[offsets[u]:offsets[u+1]] {
+			if isSeed.Contains(int(t)) {
+				i := slot[int(t)]
+				out[i] = append(out[i], int32(u))
+			}
+		}
+	}
+	// Duplicate seeds in one batch share the first occurrence's list.
+	for i, s := range seeds {
+		if first := slot[s]; first != i {
+			out[i] = out[first]
+		}
+	}
+}

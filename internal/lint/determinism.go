@@ -18,6 +18,7 @@ var transcriptScope = []string{
 	"internal/core",
 	"internal/refine",
 	"internal/graph",
+	"internal/frontier",
 }
 
 // emissionScope additionally gets the map-iteration-order check: these

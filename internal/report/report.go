@@ -159,6 +159,16 @@ type Measurement struct {
 	AllocsPerRnd  float64 `json:"allocs_per_round"`
 	RecoveredPct  float64 `json:"recovered_pct,omitempty"`
 	SpeedupLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+	// Batched ε-Search throughput (cmd/bench -search-batch rows only):
+	// Searches full bisections over independent coin seeds, Probes the
+	// total probe runs they issued, with throughput and the frontier
+	// engine's advantage over per-probe sharded simulation derived.
+	Searches       int     `json:"searches,omitempty"`
+	Probes         int     `json:"probes,omitempty"`
+	ProbesPerSec   float64 `json:"probes_per_sec,omitempty"`
+	SeedsPerSec    float64 `json:"seeds_per_sec,omitempty"`
+	FoundEps       float64 `json:"found_eps,omitempty"`
+	SpeedupSharded float64 `json:"speedup_vs_sharded,omitempty"`
 }
 
 // RefineMeasurement is the cmd/bench -refine record (BENCH_refine.json):

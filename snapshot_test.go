@@ -53,7 +53,8 @@ func TestSnapshotRoundTripSolveTranscript(t *testing.T) {
 	defer snap.Close()
 
 	for _, engine := range []nearclique.Engine{
-		nearclique.EngineSequential, nearclique.EngineSharded, nearclique.EngineLegacy,
+		nearclique.EngineSequential, nearclique.EngineSharded,
+		nearclique.EngineLegacy, nearclique.EngineFrontier,
 	} {
 		s, err := nearclique.New(
 			nearclique.WithEngine(engine),

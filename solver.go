@@ -38,6 +38,15 @@ const (
 	// Awerbuch's α-synchronizer; the synchronizer overhead appears in the
 	// Async* metrics.
 	EngineAsync
+	// EngineFrontier is the centralized replay on direction-optimizing
+	// frontier kernels (internal/frontier): component discovery runs as
+	// 64-seed cluster floods over the CSR arena with Ligra-style
+	// push/pull waves, and Search probes share one cached traversal
+	// across the whole ε bisection. Committed output is bit-identical to
+	// every other engine; like the sequential engine it simulates no
+	// messages (zero Metrics), but it does emit per-wave flight round
+	// events.
+	EngineFrontier
 )
 
 func (e Engine) String() string {
@@ -52,12 +61,14 @@ func (e Engine) String() string {
 		return "legacy"
 	case EngineAsync:
 		return "async"
+	case EngineFrontier:
+		return "frontier"
 	}
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
 
 // ParseEngine maps the flag spellings used by the cmd/ tools ("auto",
-// "seq", "sharded", "legacy", "async") to an Engine.
+// "seq", "sharded", "legacy", "async", "frontier") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "auto":
@@ -70,8 +81,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineLegacy, nil
 	case "async":
 		return EngineAsync, nil
+	case "frontier":
+		return EngineFrontier, nil
 	}
-	return EngineAuto, fmt.Errorf("nearclique: unknown engine %q (want auto|seq|sharded|legacy|async)", s)
+	return EngineAuto, fmt.Errorf("nearclique: unknown engine %q (want auto|seq|sharded|legacy|async|frontier)", s)
 }
 
 // config is the resolved Solver configuration. The embedded core options
@@ -93,7 +106,7 @@ type Option func(*config) error
 // WithEngine selects the execution engine (default EngineAuto).
 func WithEngine(e Engine) Option {
 	return func(c *config) error {
-		if e > EngineAsync {
+		if e > EngineFrontier {
 			return fmt.Errorf("nearclique: invalid engine %d", uint8(e))
 		}
 		c.engine = e
@@ -412,6 +425,9 @@ func (s *Solver) solve(ctx context.Context, g *Graph, opts Options) (*Result, er
 	case EngineAsync:
 		opts.Async = true
 		res, err = core.FindContext(ctx, g, opts)
+	case EngineFrontier:
+		opts.Async = false
+		res, err = core.FindFrontierContext(ctx, g, opts)
 	}
 	if err == nil && res != nil && s.cfg.refine != nil {
 		err = s.applyRefine(ctx, g, res, opts)
@@ -437,6 +453,19 @@ func (s *Solver) applyRefine(ctx context.Context, g *Graph, res *Result, opts Op
 	spec := *s.cfg.refine
 	refined := make([]RefinedCandidate, len(res.Candidates))
 	r := refine.New(g)
+	// Batch the candidates' grow-pool seed neighborhoods through one
+	// frontier sweep before the per-candidate loop: with several
+	// committed candidates one pull pass over the arena replaces one
+	// row walk per candidate. Purely a fetch strategy — Prime returns
+	// content-identical neighbor lists, so refined output is unchanged
+	// (pinned by the refine goldens).
+	pools := make([][]int, len(res.Candidates))
+	for i, c := range res.Candidates {
+		pools[i] = c.Members
+	}
+	if err := r.Prime(ctx, pools); err != nil {
+		return fmt.Errorf("nearclique: refinement aborted: %w", err)
+	}
 	moves, bestSize, bestDensity := 0, 0, 0.0
 	for i, c := range res.Candidates {
 		ref, err := r.Candidate(ctx, c.Label, c.Members, spec, opts.Epsilon, opts.Seed, i)
@@ -537,13 +566,21 @@ func (s *Solver) SolveBatch(ctx context.Context, graphs []*Graph) ([]*Result, er
 }
 
 // Search estimates the smallest ε at which g contains a reportable ε-near
-// clique of ≥ rho·n nodes, by bisection over boosted sequential runs (the
+// clique of ≥ rho·n nodes, by bisection over boosted probe runs (the
 // practical analogue of Fischer & Newman's minimum-distance estimation).
 // It replaces the deprecated SearchMinEpsilon; tune it with
 // WithSearchSteps and WithSearchBounds. Probes observe ctx, and
 // cancellation surfaces as a wrapped context error — never as ErrNotFound.
 // With WithRefine configured the winning probe's result is refined like a
 // Solve result, a near-objective spec inheriting the found ε.
+//
+// Probes execute on the configured engine: EngineAuto and EngineFrontier
+// run the cached frontier path — one traversal serves the whole
+// bisection, since the sampling coins never depend on ε — while
+// EngineSequential re-runs a full sequential probe per ε and the
+// simulator engines simulate every probe (so probe cost reflects the
+// engine, with metrics to match). The returned ε and Result transcript
+// are identical on every engine, pinned by the search parity suite.
 func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *Result, error) {
 	versions := 0 // core's search default (4): probes must be reliable
 	if s.cfg.versionsSet {
@@ -556,7 +593,7 @@ func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *R
 	if s.cfg.opts.P > 0 {
 		sample = s.cfg.opts.P * float64(g.N())
 	}
-	eps, res, err := core.SearchContext(ctx, g, core.SearchOptions{
+	so := core.SearchOptions{
 		Rho:            rho,
 		ExpectedSample: sample,
 		Versions:       versions,
@@ -564,7 +601,33 @@ func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *R
 		EpsMin:         s.cfg.searchMin,
 		EpsMax:         s.cfg.searchMax,
 		Seed:           s.cfg.opts.Seed,
-	})
+		Flight:         s.cfg.opts.Flight,
+	}
+	var eps float64
+	var res *Result
+	var err error
+	switch s.cfg.engine {
+	case EngineAuto, EngineFrontier:
+		eps, res, err = core.SearchFrontierContext(ctx, g, so)
+	case EngineSequential:
+		eps, res, err = core.SearchContext(ctx, g, so)
+	case EngineSharded, EngineLegacy, EngineAsync:
+		eps, res, err = core.SearchWithRunner(ctx, g, so,
+			func(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+				opts.Parallelism = s.cfg.opts.Parallelism
+				opts.MaxRounds = s.cfg.opts.MaxRounds
+				opts.AsyncMaxDelay = s.cfg.opts.AsyncMaxDelay
+				switch s.cfg.engine {
+				case EngineSharded:
+					opts.Engine, opts.Async = congest.EngineSharded, false
+				case EngineLegacy:
+					opts.Engine, opts.Async = congest.EngineLegacy, false
+				case EngineAsync:
+					opts.Async = true
+				}
+				return core.FindContext(ctx, g, opts)
+			})
+	}
 	if err == nil && res != nil && s.cfg.refine != nil {
 		opts := s.cfg.opts
 		opts.Epsilon = eps // the run ε an inherit-mode near spec resolves to
