@@ -13,7 +13,8 @@
 // Endpoints:
 //
 //	GET    /healthz            liveness (503 while draining)
-//	GET    /statz              queue/cache/per-graph counters (internal/report.ServerStats)
+//	GET    /statz              queue/cache/latency/per-graph counters (internal/report.ServerStats)
+//	GET    /metricsz           Prometheus-text exposition (disable with -no-metrics)
 //	GET    /v1/graphs          list registered graphs
 //	POST   /v1/graphs          {"name":..., "path":...} — hot-load a graph
 //	DELETE /v1/graphs/{name}   unload (in-flight solves finish first)
@@ -71,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain may take before connections are force-closed")
 		costPath    = fs.String("costmodel", "", "cost-model JSON file: seeded at startup if present, saved back on clean shutdown (empty = in-memory only)")
 		cheap       = fs.Duration("cheap", 10*time.Millisecond, "predicted-wall-time threshold for the admission fast path (0 disables)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = off; keep it off the service port)")
+		noMetrics   = fs.Bool("no-metrics", false, "disable the observability layer (/metricsz, latency histograms)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Func("load", "register a graph at startup as name=path (repeatable; .ncsr is memory-mapped)", func(v string) error {
@@ -107,8 +110,24 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 		DefaultTimeout: *timeout,
 		CheapSolveNS:   cheapNS,
 		Version:        buildinfo.String("nearcliqued"),
+		DisableMetrics: *noMetrics,
 	})
 	defer srv.Close()
+
+	// pprof gets its own listener, never the service one: profiles are an
+	// operator surface (unauthenticated and expensive to render), so they
+	// bind to a separate — typically loopback-only — address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "nearcliqued:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "nearcliqued: pprof listening on %s\n", pln.Addr())
+		ps := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go ps.Serve(pln)
+		defer ps.Close()
+	}
 
 	// Seed the admission cost model from a committed artifact so a fresh
 	// daemon prices requests from the first one; it keeps training from

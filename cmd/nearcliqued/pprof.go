@@ -1,0 +1,21 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofMux builds the profiling mux explicitly instead of importing
+// net/http/pprof for its DefaultServeMux side effect: the daemon's
+// service handler must never grow debug endpoints by accident, and the
+// explicit registration keeps the profiling surface auditable in one
+// place.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

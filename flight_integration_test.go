@@ -50,20 +50,31 @@ func TestFlightTranscriptsIdenticalAcrossEngines(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: recorder-off solve: %v", key, err)
 			}
-			rec := nearclique.NewFlightRecorder(256)
-			traced, err := nearclique.New(append(opts, nearclique.WithFlightRecorder(rec))...)
-			if err != nil {
-				t.Fatalf("%s: %v", key, err)
-			}
-			on, err := traced.Solve(context.Background(), g)
-			if err != nil {
-				t.Fatalf("%s: recorder-on solve: %v", key, err)
-			}
-			if a, b := goldenTranscript(off), goldenTranscript(on); a != b {
-				t.Errorf("%s: transcript differs with recorder attached:\noff:\n%s\non:\n%s", key, a, b)
-			}
-			if rec.Offered() == 0 {
-				t.Errorf("%s: recorder attached but no events offered", key)
+			// The recorder-on runs also sweep the parallelism axis (the
+			// library-level analog of GOMAXPROCS 1 vs 4): wall-stamped
+			// observability must stay byte-invisible in transcripts at
+			// every worker count.
+			for _, par := range []int{0, 1, 4} {
+				rec := nearclique.NewFlightRecorder(256)
+				tracedOpts := append(append([]nearclique.Option(nil), opts...),
+					nearclique.WithFlightRecorder(rec))
+				if par > 0 {
+					tracedOpts = append(tracedOpts, nearclique.WithParallelism(par))
+				}
+				traced, err := nearclique.New(tracedOpts...)
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				on, err := traced.Solve(context.Background(), g)
+				if err != nil {
+					t.Fatalf("%s/par=%d: recorder-on solve: %v", key, par, err)
+				}
+				if a, b := goldenTranscript(off), goldenTranscript(on); a != b {
+					t.Errorf("%s/par=%d: transcript differs with recorder attached:\noff:\n%s\non:\n%s", key, par, a, b)
+				}
+				if rec.Offered() == 0 {
+					t.Errorf("%s/par=%d: recorder attached but no events offered", key, par)
+				}
 			}
 		}
 		if err := closeGraph(); err != nil {

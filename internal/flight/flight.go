@@ -37,6 +37,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind tags an Event.
@@ -88,6 +89,13 @@ type Event struct {
 	// Seq is the global arrival ticket, assigned by Record; Snapshot
 	// returns events in Seq order.
 	Seq uint64
+	// WallNS is the wall-clock offset from the recorder's epoch at which
+	// Record accepted the event, stamped centrally so every engine gets
+	// timeline data without engine changes. It is observation-only wall
+	// time (flight is emission scope, not transcript scope — the
+	// determinism analyzer permits clocks here) and never feeds back into
+	// protocol state: transcripts stay byte-identical regardless.
+	WallNS int64
 }
 
 // slot is one ring cell. state is a CAS-claimed exclusivity latch (0 free,
@@ -108,6 +116,7 @@ const maxPhases = 4096
 type Recorder struct {
 	mask    uint64
 	slots   []slot
+	epoch   time.Time
 	offered atomic.Uint64
 	dropped atomic.Uint64
 
@@ -139,8 +148,14 @@ func New(capacity int) *Recorder {
 	return &Recorder{
 		mask:  uint64(c - 1),
 		slots: make([]slot, c),
+		epoch: time.Now(),
 	}
 }
+
+// Epoch returns the recorder's construction instant — the zero point of
+// every event's WallNS offset. Trace assembly uses it to rebase flight
+// timestamps onto a request trace's own epoch.
+func (r *Recorder) Epoch() time.Time { return r.epoch }
 
 // Capacity returns the ring's slot count.
 func (r *Recorder) Capacity() int { return len(r.slots) }
@@ -151,6 +166,7 @@ func (r *Recorder) Capacity() int { return len(r.slots) }
 // or a snapshot, is itself counted dropped. Exactly one of those happens
 // per call, so Offered() == retained events + Dropped() at quiescence.
 func (r *Recorder) Record(ev Event) {
+	ev.WallNS = time.Since(r.epoch).Nanoseconds()
 	t := r.offered.Add(1) - 1
 	s := &r.slots[t&r.mask]
 	if !s.state.CompareAndSwap(0, 1) {

@@ -168,3 +168,31 @@ func BenchmarkRecord(b *testing.B) {
 		r.Record(ev)
 	}
 }
+
+// TestWallStamping pins the PR 9 timeline contract: Record stamps every
+// event's WallNS centrally from the recorder's epoch, so offsets are
+// nonnegative and nondecreasing in arrival (Seq) order, and the epoch is
+// a real instant trace assembly can rebase against.
+func TestWallStamping(t *testing.T) {
+	r := New(16)
+	if r.Epoch().IsZero() {
+		t.Fatal("recorder epoch not set")
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindRound, Round: int64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d events, want 10", len(evs))
+	}
+	prev := int64(-1)
+	for i, ev := range evs {
+		if ev.WallNS < 0 {
+			t.Errorf("event %d: negative wall offset %d", i, ev.WallNS)
+		}
+		if ev.WallNS < prev {
+			t.Errorf("event %d: wall offset %d went backwards from %d", i, ev.WallNS, prev)
+		}
+		prev = ev.WallNS
+	}
+}

@@ -24,6 +24,11 @@ func TestLocksafeFixtures(t *testing.T) {
 		lint.LocksafeAnalyzer, lint.CtxflowAnalyzer)
 }
 
+func TestObssafeFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src", []string{"./internal/obs", "./internal/flight"},
+		lint.ObssafeAnalyzer)
+}
+
 func TestErrwrapFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src", []string{"./wraps"}, lint.ErrwrapAnalyzer)
 }

@@ -22,12 +22,15 @@ var transcriptScope = []string{
 }
 
 // emissionScope additionally gets the map-iteration-order check: these
-// packages emit JSON aggregates (report records, /statz) and merged
-// errors whose bytes must not depend on Go's randomized map order.
+// packages emit JSON aggregates (report records, /statz, the /metricsz
+// exposition, BENCH_serve.json) and merged errors whose bytes must not
+// depend on Go's randomized map order.
 var emissionScope = []string{
 	"internal/report",
 	"internal/server",
 	"internal/flight",
+	"internal/obs",
+	"cmd/loadgen",
 }
 
 // DeterminismAnalyzer enforces the repo's determinism contract

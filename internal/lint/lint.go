@@ -134,6 +134,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		LocksafeAnalyzer,
+		ObssafeAnalyzer,
 		ErrwrapAnalyzer,
 		CtxflowAnalyzer,
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 // LocksafeAnalyzer enforces lock hygiene in the concurrent serving paths
-// (internal/server, internal/flight):
+// (internal/server, internal/flight, internal/obs):
 //
 //   - no lock copied by value: parameters, results, assignments, range
 //     values, and call arguments whose type is (or transitively contains)
@@ -25,7 +25,7 @@ import (
 var LocksafeAnalyzer = &Analyzer{
 	Name:     "locksafe",
 	Doc:      "flags locks copied by value, non-atomic access to atomically-used fields, and blocking calls made while a mutex is held",
-	Packages: []string{"internal/server", "internal/flight"},
+	Packages: []string{"internal/server", "internal/flight", "internal/obs"},
 	Run:      runLocksafe,
 }
 

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObssafeAnalyzer enforces the observability layer's purely-observational
+// contract (DESIGN.md §14): instrumentation must never make the hot path
+// wait.
+//
+// Two checks:
+//
+//   - hot record bodies are wait-free: the functions called on every
+//     request or every flight event — Histogram.Observe/ObserveNS,
+//     Counter.Inc/Add (internal/obs), Recorder.Record (internal/flight)
+//     — must not take a mutex, send or receive on a channel, select
+//     without a default, Wait on a WaitGroup/Cond, or sleep. A blocking
+//     record turns metrics into backpressure;
+//   - no hot record call while a mutex is held: in the serving and
+//     metrics packages, calling one of those record functions between
+//     Lock and Unlock stretches the critical section by the
+//     instrumentation's cost for every contender. Record after Unlock —
+//     the histogram is lock-free precisely so it never needs lock cover.
+//
+// Trace.Add/Span are deliberately NOT in the hot set: traces exist only
+// under the flight opt-in, which already bypasses the cache and accepts
+// per-request overhead; their internal mutex is part of that bargain.
+var ObssafeAnalyzer = &Analyzer{
+	Name:     "obssafe",
+	Doc:      "flags blocking operations inside hot metric-record functions and hot record calls made while a mutex is held",
+	Packages: []string{"internal/obs", "internal/flight", "internal/server"},
+	Run:      runObssafe,
+}
+
+// hotRecordMethods maps a declaring package scope to the receiver-type /
+// method-name pairs that form the wait-free hot set.
+var hotRecordMethods = map[string]map[string][]string{
+	"internal/obs": {
+		"Histogram": {"Observe", "ObserveNS"},
+		"Counter":   {"Inc", "Add"},
+	},
+	"internal/flight": {
+		"Recorder": {"Record"},
+	},
+}
+
+func runObssafe(pass *Pass) error {
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		if isHotRecordDecl(pass, fd) {
+			checkHotBody(pass, fd)
+			return // a wait-free body cannot also hold a lock across a record
+		}
+		walkHotUnderLock(pass, fd.Body.List, make(map[types.Object]token.Pos))
+	})
+	return nil
+}
+
+// isHotRecordDecl reports whether fd declares one of the hot record
+// methods in the package being analyzed.
+func isHotRecordDecl(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	for scope, byRecv := range hotRecordMethods {
+		if !pass.InScope(scope) {
+			continue
+		}
+		for recvName, methods := range byRecv {
+			if !namedFrom(recvType, pass.PkgPath, recvName) {
+				continue
+			}
+			for _, m := range methods {
+				if fd.Name.Name == m {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkHotBody flags anything inside a hot record function that can make
+// the caller wait. Function literals are skipped — they run on their own
+// frame when (and if) invoked, not during the record.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside hot record function %s: a full channel turns metrics into backpressure", name)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.Pos(), "channel receive inside hot record function %s: an empty channel stalls the instrumented path", name)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				pass.Reportf(x.Pos(), "select with no default inside hot record function %s: blocks until a case is ready", name)
+			}
+		case *ast.CallExpr:
+			if mu, locked := lockStateChange(info, x); mu != nil && locked {
+				pass.Reportf(x.Pos(), "mutex acquired inside hot record function %s: record must stay lock-free (use sync/atomic)", name)
+				return true
+			}
+			if isPkgFunc(info, x, "time", "Sleep") {
+				pass.Reportf(x.Pos(), "time.Sleep inside hot record function %s", name)
+				return true
+			}
+			if fn := calleeFunc(info, x); fn != nil && fn.Name() == "Wait" && isMethod(fn) && waitableRecv(fn) {
+				pass.Reportf(x.Pos(), "%s.Wait inside hot record function %s", recvTypeName(fn), name)
+			}
+		}
+		return true
+	})
+}
+
+// hotRecordCallee resolves a call to a hot record method declared in
+// internal/obs or internal/flight, returning a printable name.
+func hotRecordCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !isMethod(fn) {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	recv := fn.Type().(*types.Signature).Recv().Type()
+	for scope, byRecv := range hotRecordMethods {
+		if path != scope && !strings.HasSuffix(path, "/"+scope) {
+			continue
+		}
+		for recvName, methods := range byRecv {
+			if !namedFrom(recv, path, recvName) {
+				continue
+			}
+			for _, m := range methods {
+				if fn.Name() == m {
+					return recvName + "." + m, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// walkHotUnderLock mirrors locksafe's walkLocked traversal — same lock
+// tracking, same conservative nested-block semantics — but reports hot
+// record calls instead of blocking operations.
+func walkHotUnderLock(pass *Pass, stmts []ast.Stmt, held map[types.Object]token.Pos) {
+	info := pass.TypesInfo
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if mu, locked := lockStateChange(info, call); mu != nil {
+					if locked {
+						held[mu] = call.Pos()
+					} else {
+						delete(held, mu)
+					}
+					continue
+				}
+			}
+			reportHotCalls(pass, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function; record calls after it are exactly the ones to flag.
+			continue
+		case *ast.GoStmt:
+			continue // the goroutine body runs unlocked
+		case *ast.BlockStmt:
+			walkHotUnderLock(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			reportHotCalls(pass, s.Cond, held)
+			walkHotUnderLock(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				walkHotUnderLock(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			walkHotUnderLock(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			reportHotCalls(pass, s.X, held)
+			walkHotUnderLock(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkHotUnderLock(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkHotUnderLock(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkHotUnderLock(pass, cc.Body, copyHeld(held))
+				}
+			}
+		default:
+			reportHotCalls(pass, stmt, held)
+		}
+	}
+}
+
+// reportHotCalls flags hot record calls syntactically inside n while any
+// mutex is held.
+func reportHotCalls(pass *Pass, n ast.Node, held map[types.Object]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	info := pass.TypesInfo
+	lockPos := pass.Fset.Position(mustAnyPos(held))
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok {
+			if name, ok := hotRecordCallee(info, call); ok {
+				pass.Reportf(call.Pos(), "%s called while holding the mutex locked at %s: record after Unlock — instrumentation must not extend critical sections", name, lockPos)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,32 @@
+// Package flight is an obssafe fixture for the recorder side of the hot
+// set: Record runs on every event emission and must be wait-free.
+package flight
+
+import "sync"
+
+// Event is the minimal shape the fixture needs.
+type Event struct{ Seq uint64 }
+
+// Recorder mimics the real ring recorder's surface.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Event
+	wake chan struct{}
+	seq  uint64
+}
+
+// Record is the violating hot path: it locks and signals.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock() // want `mutex acquired inside hot record function Record`
+	r.ring = append(r.ring, ev)
+	r.mu.Unlock()
+	r.wake <- struct{}{} // want `channel send inside hot record function Record`
+}
+
+// Snapshot is not in the hot set: a mutex here is fine.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.ring...)
+	r.mu.Unlock()
+	return out
+}

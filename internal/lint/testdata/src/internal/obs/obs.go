@@ -1,0 +1,90 @@
+// Package obs is an obssafe fixture: its import path puts it in the hot
+// metric-record scope, where blocking operations inside Histogram and
+// Counter record methods — and record calls made while a mutex is held —
+// are flagged.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram mirrors the real lock-free shape: record via atomics only.
+type Histogram struct {
+	count atomic.Uint64
+	ch    chan int64
+	mu    sync.Mutex
+}
+
+// ObserveNS is the clean hot path: pure atomics, nothing to flag.
+func (h *Histogram) ObserveNS(ns int64) {
+	h.count.Add(1)
+}
+
+// Observe is the violating hot path: every blocking shape in one body.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()             // want `mutex acquired inside hot record function Observe`
+	h.ch <- d.Nanoseconds() // want `channel send inside hot record function Observe`
+	<-h.ch                  // want `channel receive inside hot record function Observe`
+	h.mu.Unlock()
+	h.ObserveNS(d.Nanoseconds())
+}
+
+// Counter's Inc sleeps — instrumentation that waits is backpressure.
+type Counter struct {
+	n atomic.Uint64
+}
+
+func (c *Counter) Inc() {
+	time.Sleep(time.Microsecond) // want `time.Sleep inside hot record function Inc`
+	c.n.Add(1)
+}
+
+// Add waits on a WaitGroup: the record stalls until workers finish.
+func (c *Counter) Add(delta uint64) {
+	var wg sync.WaitGroup
+	wg.Wait() // want `sync.WaitGroup.Wait inside hot record function Add`
+	c.n.Add(delta)
+}
+
+// registry is the second check's subject: record calls under a held lock
+// stretch the critical section for every contender.
+type registry struct {
+	mu   sync.Mutex
+	hist *Histogram
+	c    *Counter
+}
+
+// flushLocked records while holding the mutex — flagged at each call.
+func (r *registry) flushLocked(ns int64) {
+	r.mu.Lock()
+	r.hist.ObserveNS(ns) // want `Histogram.ObserveNS called while holding the mutex`
+	r.c.Inc()            // want `Counter.Inc called while holding the mutex`
+	r.mu.Unlock()
+}
+
+// flushDeferred: defer Unlock holds the lock to function end, so the
+// record after it is still under cover.
+func (r *registry) flushDeferred(ns int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hist.ObserveNS(ns) // want `Histogram.ObserveNS called while holding the mutex`
+}
+
+// flushAfterUnlock is the clean shape: snapshot under the lock, record
+// after releasing it.
+func (r *registry) flushAfterUnlock(ns int64) {
+	r.mu.Lock()
+	v := ns + 1
+	r.mu.Unlock()
+	r.hist.ObserveNS(v)
+	r.c.Inc()
+}
+
+// flushInGoroutine: the spawned goroutine runs unlocked.
+func (r *registry) flushInGoroutine(ns int64) {
+	r.mu.Lock()
+	go r.hist.ObserveNS(ns)
+	r.mu.Unlock()
+}

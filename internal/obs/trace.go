@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed step of a request's lifecycle, relative to the
+// trace's epoch (the instant the server began handling the request).
+// Flat spans, not a tree: the serving pipeline is a straight line
+// (admission-wait → cache-lookup → solve → per-phase sub-spans →
+// commit), and span names carry the nesting ("solve/explore-v0") where
+// one level exists.
+type Span struct {
+	Name    string
+	StartNS int64
+	DurNS   int64
+}
+
+// Trace accumulates spans for one request. It is built from server
+// timestamps (admission, cache lookup, solve boundaries) plus the flight
+// recorder's phase events, which since PR 9 carry wall offsets — the
+// trace is pure observation, derived entirely from clocks outside the
+// deterministic core, so attaching one never changes a transcript.
+//
+// Spans are appended from the handler and the worker goroutine; those
+// appends are already ordered by the admission channel's happens-before
+// edges, but a mutex keeps the type safe under any future access
+// pattern. Trace methods are NOT hot-path instrumentation — a trace
+// exists only for requests that opted into the flight parameter, the
+// same opt-in that already bypasses the result cache.
+type Trace struct {
+	id    string
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace; the epoch is now. id is the trace identifier
+// surfaced as X-Nearclique-Trace-Id and in the response's trace section.
+func NewTrace(id string) *Trace {
+	return &Trace{id: id, epoch: time.Now()}
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Epoch returns the trace's zero instant.
+func (t *Trace) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Since returns the trace-relative offset of instant in nanoseconds.
+func (t *Trace) Since(instant time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return instant.Sub(t.epoch).Nanoseconds()
+}
+
+// Span records a span from two absolute instants. Nil-safe no-op.
+func (t *Trace) Span(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.Add(name, t.Since(start), end.Sub(start).Nanoseconds())
+}
+
+// Add records a span from trace-relative offsets. Nil-safe no-op.
+func (t *Trace) Add(name string, startNS, durNS int64) {
+	if t == nil {
+		return
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, StartNS: startNS, DurNS: durNS})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans ordered by start offset
+// (name-tiebroken, so rendering is deterministic for fixed inputs).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

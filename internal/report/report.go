@@ -81,7 +81,29 @@ type Run struct {
 	// opt-in flight request parameter). The cost numbers above stay the
 	// source of truth — Flight is the per-round breakdown behind them.
 	Flight *FlightSample `json:"flight,omitempty"`
-	Error  string        `json:"error,omitempty"`
+	// Trace is the request's span timeline (admission-wait → cache-lookup
+	// → solve → per-phase → commit), present only under the same flight
+	// opt-in — traced requests already bypass the result cache in both
+	// directions, which is what keeps cached bodies byte-identical and
+	// timestamp-free.
+	Trace *Trace `json:"trace,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// TraceSpan is one timed step of a request timeline, offsets relative to
+// the trace epoch (the instant the server began handling the request).
+type TraceSpan struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Trace is the wire form of a request's span timeline. TraceID matches
+// the response's X-Nearclique-Trace-Id header, so a body on disk and a
+// log line at the edge join on one identifier.
+type Trace struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []TraceSpan `json:"spans"`
 }
 
 // FlightEvent is one flight-recorder observation in the wire schema:
@@ -96,6 +118,9 @@ type FlightEvent struct {
 	// Bytes is payload bytes, matching Cost.PayloadBytes granularity.
 	Bytes     int64 `json:"payload_bytes,omitempty"`
 	HeapDelta int64 `json:"heap_delta,omitempty"`
+	// WallNS is the wall offset from the recorder's epoch at which the
+	// event was recorded (observation-only; see flight.Event.WallNS).
+	WallNS int64 `json:"wall_ns,omitempty"`
 }
 
 // FlightSample is a recorder snapshot: exact accounting totals plus the
@@ -135,6 +160,7 @@ func FlightFromRecorder(rec *flight.Recorder, maxEvents int) *FlightSample {
 			Frames:    ev.Frames,
 			Bytes:     ev.Bytes,
 			HeapDelta: ev.HeapDelta,
+			WallNS:    ev.WallNS,
 		}
 	}
 	return s
@@ -317,13 +343,29 @@ type ServerStats struct {
 	// Executed-job wall-time aggregate: the basis of the computed
 	// Retry-After. Only actually executed solves count — cached replays
 	// would drag the mean toward zero.
-	JobsDone      int64        `json:"jobs_done"`
-	MeanJobMS     float64      `json:"mean_job_ms"`
-	RetryAfterSec int          `json:"retry_after_sec"` // what a 429 would advise right now
-	Cache         CacheStats   `json:"cache"`
-	Flight        *FlightStats `json:"flight,omitempty"`
-	CostModel     *CostStats   `json:"cost_model,omitempty"`
-	Graphs        []GraphStats `json:"graphs"`
+	JobsDone      int64   `json:"jobs_done"`
+	MeanJobMS     float64 `json:"mean_job_ms"`
+	RetryAfterSec int     `json:"retry_after_sec"` // what a 429 would advise right now
+	// Latency is the per-endpoint distribution section, extracted from
+	// the same histograms /metricsz exposes — percentiles here and bucket
+	// counts there reconcile exactly because they read one set of atomics.
+	Latency   []EndpointLatency `json:"latency,omitempty"`
+	Cache     CacheStats        `json:"cache"`
+	Flight    *FlightStats      `json:"flight,omitempty"`
+	CostModel *CostStats        `json:"cost_model,omitempty"`
+	Graphs    []GraphStats      `json:"graphs"`
+}
+
+// EndpointLatency is one endpoint's request-latency distribution in the
+// /statz latency section: exact count/sum plus the log-bucket
+// percentiles (conservative by at most one factor-of-2 bucket width).
+type EndpointLatency struct {
+	Endpoint string  `json:"endpoint"`
+	Count    uint64  `json:"count"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	P999MS   float64 `json:"p999_ms"`
 }
 
 // FlightStats is the /statz flight section: the aggregate over every
@@ -364,6 +406,37 @@ type CacheStats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Evictions   int64 `json:"evictions"`
+}
+
+// ServeMeasurement is the cmd/loadgen record (BENCH_serve.json): one
+// open-loop load scenario against a live daemon, reporting the served
+// latency distribution and the shed rates. Latency percentiles come from
+// the same log-bucket histogram class the server uses, so harness-side
+// and server-side distributions are directly comparable. Offered follows
+// the arrival schedule (open loop: arrivals do not wait for completions);
+// Completed + Shed429 + Shed504 + Errors5xx + Failed == Offered.
+type ServeMeasurement struct {
+	Scenario string `json:"scenario"`
+	Pattern  string `json:"pattern"` // "constant" | "ramp" | "burst"
+	Mix      string `json:"mix"`     // request mix, e.g. "solve:8,batch:1,refine:1"
+	// TargetRPS is the scenario's arrival rate (mean rate for ramp/burst).
+	TargetRPS  float64 `json:"target_rps"`
+	DurationMS int64   `json:"duration_ms"`
+	Offered    int64   `json:"offered"`
+	Completed  int64   `json:"completed"` // 2xx responses
+	Shed429    int64   `json:"shed_429"`  // queue-full rejections
+	Shed504    int64   `json:"shed_504"`  // deadline expiries
+	Errors5xx  int64   `json:"errors_5xx"`
+	Failed     int64   `json:"failed"` // transport-level failures
+	ShedRate   float64 `json:"shed_rate"`
+	Throughput float64 `json:"throughput_rps"` // completed per wall second
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
+	MeanMS     float64 `json:"mean_ms"`
+	// PredictedNS is the cost model's per-solve prediction for the
+	// scenario's graph/params when reliable (the CI gate's p99 baseline).
+	PredictedNS int64 `json:"predicted_ns,omitempty"`
 }
 
 // GraphStats describes one registered graph: identity (name, shape,

@@ -270,7 +270,7 @@ func TestZeroQueueDepthShedsImmediately(t *testing.T) {
 // TestAdmitterBoundsAndDrain unit-tests the admission controller without
 // HTTP: capacity semantics, queue-full, drain, and post-drain refusal.
 func TestAdmitterBoundsAndDrain(t *testing.T) {
-	a := newAdmitter(1, 2)
+	a := newAdmitter(1, 2, nil)
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
 	job := func() {

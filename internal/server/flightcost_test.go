@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nearclique/internal/costmodel"
+	"nearclique/internal/obs"
 	"nearclique/internal/report"
 )
 
@@ -23,10 +24,11 @@ import (
 // advise a strictly larger (and exactly computed) back-off than an empty
 // one — not the old hardcoded 1.
 func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
-	a := newAdmitter(1, 8)
-	// Seed the executed-job ledger: 4 jobs, 8s total → mean 2s.
-	a.jobsDone.Store(4)
-	a.jobWallNS.Store(8 * int64(time.Second))
+	a := newAdmitter(1, 8, &obs.Histogram{})
+	// Seed the executed-job histogram: 4 jobs of 2s → mean exactly 2s.
+	for i := 0; i < 4; i++ {
+		a.exec.ObserveNS(2 * int64(time.Second))
+	}
 
 	if got := a.retryAfterSeconds(); got != 2 {
 		t.Fatalf("empty queue: Retry-After %d, want 2 (= ceil((0+1)×2s/1 worker))", got)
@@ -50,8 +52,9 @@ func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
 	close(release)
 	a.drain()
 
-	// No observations yet → the RFC floor, not zero.
-	if got := newAdmitter(1, 1).retryAfterSeconds(); got != 1 {
+	// No observations yet → the RFC floor, not zero. A nil histogram (the
+	// bare-test construction) must behave exactly like an empty one.
+	if got := newAdmitter(1, 1, nil).retryAfterSeconds(); got != 1 {
 		t.Fatalf("cold admitter: Retry-After %d, want 1", got)
 	}
 }
@@ -73,9 +76,9 @@ func TestRetryAfterHeaderComputed(t *testing.T) {
 	if _, err := s.LoadGraph("g", path); err != nil {
 		t.Fatal(err)
 	}
-	// Observed history: mean 3s per executed job.
-	s.admit.jobsDone.Store(2)
-	s.admit.jobWallNS.Store(6 * int64(time.Second))
+	// Observed history: 2 jobs of 3s → mean exactly 3s per executed job.
+	s.admit.exec.ObserveNS(3 * int64(time.Second))
+	s.admit.exec.ObserveNS(3 * int64(time.Second))
 
 	res1 := asyncPost(t, ts.URL+"/v1/solve", `{"graph":"g","seed":1}`)
 	<-started
@@ -208,7 +211,7 @@ func TestCacheHitsExcludedFromCostAndLatency(t *testing.T) {
 	if status, body, _ := post(t, ts.URL+"/v1/solve", `{"graph":"g","engine":"seq","seed":7}`); status != http.StatusOK {
 		t.Fatalf("solve: status %d body %s", status, body)
 	}
-	samples, jobs, wall := s.cost.Samples(), s.admit.jobsDone.Load(), s.admit.jobWallNS.Load()
+	samples, jobs, wall := s.cost.Samples(), s.admit.exec.Count(), s.admit.exec.SumNS()
 	if samples != 1 || jobs != 1 || wall <= 0 {
 		t.Fatalf("after executed solve: samples=%d jobs=%d wall=%d, want 1/1/>0", samples, jobs, wall)
 	}
@@ -221,10 +224,10 @@ func TestCacheHitsExcludedFromCostAndLatency(t *testing.T) {
 	if got := s.cost.Samples(); got != samples {
 		t.Errorf("cache hits trained the model: samples %d → %d", samples, got)
 	}
-	if got := s.admit.jobsDone.Load(); got != jobs {
+	if got := s.admit.exec.Count(); got != jobs {
 		t.Errorf("cache hits entered the latency ledger: jobs_done %d → %d", jobs, got)
 	}
-	if got := s.admit.jobWallNS.Load(); got != wall {
+	if got := s.admit.exec.SumNS(); got != wall {
 		t.Errorf("cache hits entered the latency ledger: wall %d → %d", wall, got)
 	}
 
@@ -232,7 +235,7 @@ func TestCacheHitsExcludedFromCostAndLatency(t *testing.T) {
 	if status, body, _ := post(t, ts.URL+"/v1/solve", `{"graph":"g","engine":"sharded","seed":7,"max_rounds":1}`); status != http.StatusUnprocessableEntity {
 		t.Fatalf("aborted solve: status %d body %s", status, body)
 	}
-	if got := s.admit.jobsDone.Load(); got != jobs+1 {
+	if got := s.admit.exec.Count(); got != jobs+1 {
 		t.Errorf("aborted run not ledgered as a job: jobs_done %d, want %d", got, jobs+1)
 	}
 	if got := s.cost.Samples(); got != samples {

@@ -14,6 +14,7 @@ import (
 	"nearclique"
 	"nearclique/internal/costmodel"
 	"nearclique/internal/flight"
+	"nearclique/internal/obs"
 	"nearclique/internal/report"
 )
 
@@ -95,6 +96,10 @@ type solveParams struct {
 	// cache entirely, so the key never has to distinguish them.
 	flight    int
 	flightRec *flight.Recorder
+	// trace is the request's span timeline, attached alongside flightRec
+	// under the same opt-in (nil otherwise — every recording call
+	// no-ops). Like flightRec it never enters the cache key.
+	trace *obs.Trace
 }
 
 // resolve canonicalizes the request. Validation beyond shape (ε range,
@@ -249,10 +254,23 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 	}
 	start := time.Now()
 	res, err := solver.Solve(ctx, ent.g)
+	solveEnd := time.Now()
 	ent.solves.Add(1)
-	rec := report.FromResult(p.engine.String(), ent.g, res, time.Since(start), err)
+	rec := report.FromResult(p.engine.String(), ent.g, res, solveEnd.Sub(start), err)
 	if p.flightRec != nil {
 		rec.Flight = report.FlightFromRecorder(p.flightRec, p.flight)
+	}
+	if p.trace != nil {
+		// The span clock: solve boundaries from this goroutine's clock,
+		// per-phase sub-spans rebased from the flight recorder's
+		// wall-stamped phase events, and commit covering the record
+		// assembly just done. The trace rides inside the body, so it must
+		// be complete before Marshal — response writing itself is the one
+		// step no in-body span can cover.
+		p.trace.Span("solve", start, solveEnd)
+		addPhaseSpans(p.trace, p.flightRec, rec.Flight, p.trace.Since(start))
+		p.trace.Span("commit", solveEnd, time.Now())
+		rec.Trace = wireTrace(p.trace)
 	}
 	body, merr := json.Marshal(rec)
 	if merr != nil {
@@ -279,16 +297,51 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 	}
 }
 
+// addPhaseSpans derives per-phase sub-spans ("solve/<phase>") from the
+// flight sample's wall-stamped phase events. A phase event is recorded at
+// phase end, so phase k spans from the previous phase's end (the solve
+// start for the first) to its own event timestamp; event offsets are
+// rebased from the recorder's epoch onto the trace's. A ring that
+// dropped or truncated events yields a correspondingly partial timeline
+// — observation degrades, never lies.
+func addPhaseSpans(tr *obs.Trace, rec *flight.Recorder, sample *report.FlightSample, solveStartNS int64) {
+	if tr == nil || rec == nil || sample == nil {
+		return
+	}
+	base := tr.Since(rec.Epoch())
+	prev := solveStartNS
+	for _, ev := range sample.Events {
+		if ev.Kind != flight.KindPhase.String() {
+			continue
+		}
+		end := base + ev.WallNS
+		tr.Add("solve/"+ev.Phase, prev, end-prev)
+		prev = end
+	}
+}
+
+// wireTrace converts a trace to its wire form for the response body.
+func wireTrace(tr *obs.Trace) *report.Trace {
+	spans := tr.Spans()
+	out := &report.Trace{TraceID: tr.ID(), Spans: make([]report.TraceSpan, len(spans))}
+	for i, sp := range spans {
+		out.Spans[i] = report.TraceSpan{Name: sp.Name, StartNS: sp.StartNS, DurNS: sp.DurNS}
+	}
+	return out
+}
+
 // safeSolve is runSolve behind a panic barrier. Solves run on pool
 // workers, outside net/http's per-request recovery, so without this a
 // panic reachable through one request (an engine bug on one loaded
 // graph) would kill the daemon and every in-flight request; instead it
-// costs its own request a 500.
+// costs its own request a 500. The panic line carries the wall time
+// actually burned, on the same span clock as every other Run record.
 func (s *Server) safeSolve(ctx context.Context, solver *nearclique.Solver, p solveParams, ent *entry) (out outcome) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			out = outcome{
-				body:   errorRunLine(p.engine.String(), fmt.Errorf("server: internal panic: %v", r)),
+				body:   errorRunLine(p.engine.String(), time.Since(start), fmt.Errorf("server: internal panic: %v", r)),
 				status: http.StatusInternalServerError,
 			}
 		}
@@ -310,7 +363,12 @@ func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p
 		ctx, cancel = context.WithTimeout(ctx, p.timeout)
 		defer cancel()
 	}
+	submitted := time.Now()
 	if s.cheapPredicted(feat) && s.admit.tryBypass() {
+		// The fast path's wait is ~0 by construction; observing it keeps
+		// the wait histogram an honest distribution over all accepted
+		// jobs, not just the queued subset.
+		s.observeWait(p.trace, submitted)
 		start := time.Now()
 		out := s.safeSolve(ctx, solver, p, ent)
 		s.admit.endBypass(time.Since(start))
@@ -318,11 +376,22 @@ func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p
 	}
 	done := make(chan outcome, 1)
 	if err := s.admit.submit(func() {
+		s.observeWait(p.trace, submitted)
 		done <- s.safeSolve(ctx, solver, p, ent)
 	}); err != nil {
 		return outcome{}, err
 	}
 	return <-done, nil
+}
+
+// observeWait records the admission wait — submit to execution start — in
+// the wait histogram and, for traced requests, as the admission-wait
+// span. Runs on the worker goroutine at job start (or inline on the fast
+// path, where the wait is the bypass check itself).
+func (s *Server) observeWait(tr *obs.Trace, submitted time.Time) {
+	now := time.Now()
+	s.metrics.wait.Observe(now.Sub(submitted))
+	tr.Span("admission-wait", submitted, now)
 }
 
 // cheapPredicted reports whether the cost model reliably prices this
@@ -407,7 +476,14 @@ func (s *Server) finishSolve(out outcome, feat costmodel.Features) {
 
 // --- Handlers -----------------------------------------------------------
 
+// observeRequest records one endpoint-labeled request latency; called
+// via defer with the handler's entry instant.
+func (s *Server) observeRequest(endpoint string, start time.Time) {
+	s.metrics.endpointHist(endpoint).Observe(time.Since(start))
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest("solve", time.Now())
 	var req SolveRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -437,7 +513,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// entirely. Traced requests (flight > 0) bypass the lookup: their
 	// bodies embed a per-run trace a frozen replay could not honestly
 	// carry.
+	if params.flight > 0 {
+		// Trace epoch = handling start. The id goes out as a header on
+		// every traced response — including error paths below — and the
+		// span timeline rides in the body, which never touches the cache.
+		params.trace = obs.NewTrace(s.nextTraceID())
+		s.metrics.traces.Inc()
+		w.Header().Set("X-Nearclique-Trace-Id", params.trace.ID())
+	}
 	key := cacheKey(ent.digest, params)
+	lookupStart := time.Now()
 	if params.flight == 0 {
 		if body, ok := s.cache.get(key); ok {
 			ent.hits.Add(1)
@@ -445,6 +530,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	params.trace.Span("cache-lookup", lookupStart, time.Now())
 	params = s.resolveAuto(params, ent)
 	if params.flight > 0 {
 		params.flightRec = flight.New(s.cfg.FlightCapacity)
@@ -482,6 +568,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // per-item failures (unknown graph, abort, timeout) become in-band Run
 // records with the error field set, keeping the stream aligned.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.observeRequest("batch", time.Now())
 	var breq BatchRequest
 	if err := decodeJSON(w, r, &breq); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -523,6 +610,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = item{req: req, params: params, solver: solver}
 	}
 
+	// One trace id for the batch when any item opted into tracing; item
+	// traces derive theirs from it ("<batch-id>.<index>"), so the header
+	// joins the stream to every per-line trace section.
+	var batchTraceID string
+	for _, it := range items {
+		if it.params.flight > 0 {
+			batchTraceID = s.nextTraceID()
+			break
+		}
+	}
+
 	// Per-item deadlines are anchored here, at admission — the same
 	// clock /v1/solve uses — so a full batch of slow items can hold a
 	// worker for at most the longest single item budget, not their sum.
@@ -531,6 +629,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := s.admit.submit(func() {
 		defer close(done)
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		if batchTraceID != "" {
+			w.Header().Set("X-Nearclique-Trace-Id", batchTraceID)
+		}
 		// Unlike /v1/solve (whose body is written by the handler
 		// goroutine after the job finishes), this stream is written by
 		// the worker itself — so writes carry deadlines, or a client
@@ -546,11 +647,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// path or it would poison later keep-alive requests.
 		defer rc.SetWriteDeadline(time.Time{})
 		budget := batchWriteStall
-		for _, it := range items {
+		for i, it := range items {
 			if r.Context().Err() != nil {
 				return // client gone; stop burning the worker
 			}
-			line := s.solveItem(r.Context(), admitted, it.req, it.params, it.solver)
+			var itemTraceID string
+			if it.params.flight > 0 {
+				itemTraceID = fmt.Sprintf("%s.%d", batchTraceID, i)
+			}
+			line := s.solveItem(r.Context(), admitted, it.req, it.params, it.solver, itemTraceID)
 			wstart := time.Now()
 			if err := rc.SetWriteDeadline(wstart.Add(budget)); err != nil && !errors.Is(err, http.ErrNotSupported) {
 				return
@@ -579,22 +684,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // direct solve on the current (worker) goroutine. admitted is the
 // batch's admission instant; item deadlines count from it, so queue
 // wait and earlier items spend the same budget they would on /v1/solve.
-func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveRequest, params solveParams, solver *nearclique.Solver) []byte {
+// itemStart is the item's span-clock zero: every line this function
+// renders — executed, error, panic — carries wall_ns measured from it
+// on one clock (cached lines are the deliberate exception: their
+// wall_ns stays frozen at the first miss, the cache's byte-identity
+// contract). traceID, when non-empty, attaches a per-item span trace.
+func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveRequest, params solveParams, solver *nearclique.Solver, traceID string) []byte {
+	itemStart := time.Now()
+	if traceID != "" {
+		params.trace = obs.NewTrace(traceID)
+		s.metrics.traces.Inc()
+	}
 	ent, err := s.reg.acquire(req.Graph)
 	if err != nil {
-		return errorRunLine(params.engine.String(), err)
+		return errorRunLine(params.engine.String(), time.Since(itemStart), err)
 	}
 	defer ent.release()
 	// Cache key from the requested canonical params, trace bypass, auto
 	// resolution, miss accounting, cost-model training: all mirror
 	// /v1/solve exactly, so the two paths can never disagree in /statz.
 	key := cacheKey(ent.digest, params)
+	lookupStart := time.Now()
 	if params.flight == 0 {
 		if body, ok := s.cache.get(key); ok {
 			ent.hits.Add(1)
 			return body
 		}
 	}
+	params.trace.Span("cache-lookup", lookupStart, time.Now())
 	if resolved := s.resolveAuto(params, ent); resolved.engine != params.engine || params.flight > 0 {
 		// The solver prevalidated at batch intake assumed the static
 		// default and no recorder; rebuild it for the resolved engine
@@ -605,7 +722,7 @@ func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveReq
 		}
 		rebuilt, err := params.solver(s.cfg.Concurrency)
 		if err != nil {
-			return errorRunLine(params.engine.String(), err)
+			return errorRunLine(params.engine.String(), time.Since(itemStart), err)
 		}
 		solver = rebuilt
 	}
@@ -627,9 +744,14 @@ func (s *Server) solveItem(ctx context.Context, admitted time.Time, req SolveReq
 }
 
 // errorRunLine renders a per-item failure as a Run record so batch
-// streams stay aligned with their request lists.
-func errorRunLine(engine string, err error) []byte {
-	body, _ := json.Marshal(report.Run{Engine: engine, Error: err.Error()})
+// streams stay aligned with their request lists. wall is the service
+// time the failing item actually consumed, measured on the same span
+// clock as executed lines — before PR 9 these lines shipped wall_ns 0,
+// making batch streams internally inconsistent (the pinned bugfix).
+func errorRunLine(engine string, wall time.Duration, err error) []byte {
+	rec := report.Run{Engine: engine, Error: err.Error()}
+	rec.WallNS = wall.Nanoseconds()
+	body, _ := json.Marshal(rec)
 	return append(body, '\n')
 }
 

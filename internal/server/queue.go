@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nearclique/internal/obs"
 )
 
 var (
@@ -56,11 +58,14 @@ type admitter struct {
 	refused  atomic.Int64
 	fastPath atomic.Int64
 
-	// Executed-job wall-time ledger: every job that actually ran (pool or
-	// fast path) adds its wall time here. Cache hits never submit jobs,
-	// so they cannot drag the mean down — the mean prices honest work.
-	jobsDone  atomic.Int64
-	jobWallNS atomic.Int64
+	// exec is the executed-job wall-time histogram: every job that
+	// actually ran (pool or fast path) observes its wall time here. Cache
+	// hits never submit jobs, so they cannot drag the mean down — the
+	// mean prices honest work. One aggregate serves three consumers: the
+	// Retry-After estimate (exec.MeanNS), the /statz jobs_done /
+	// mean_job_ms fields, and the /metricsz nearclique_job_exec_seconds
+	// series — one source of truth instead of parallel ledgers.
+	exec *obs.Histogram
 
 	// bypass is the fast-path semaphore; bypassWG tracks in-flight
 	// fast-path jobs for drain.
@@ -68,7 +73,10 @@ type admitter struct {
 	bypassWG sync.WaitGroup
 }
 
-func newAdmitter(concurrency, depth int) *admitter {
+// newAdmitter builds the admission controller. exec is the executed-job
+// histogram (nil is accepted for bare tests: observes no-op and the
+// Retry-After estimate falls back to its floor).
+func newAdmitter(concurrency, depth int, exec *obs.Histogram) *admitter {
 	if depth < 0 {
 		depth = 0 // explicit no-queue mode: shed whenever workers are busy
 	}
@@ -79,6 +87,7 @@ func newAdmitter(concurrency, depth int) *admitter {
 		jobs:    make(chan func(), depth),
 		depth:   depth,
 		workers: concurrency,
+		exec:    exec,
 		bypass:  make(chan struct{}, concurrency),
 	}
 	for i := 0; i < concurrency; i++ {
@@ -89,8 +98,7 @@ func newAdmitter(concurrency, depth int) *admitter {
 				a.inFlight.Add(1)
 				start := time.Now()
 				runJob(fn)
-				a.jobWallNS.Add(time.Since(start).Nanoseconds())
-				a.jobsDone.Add(1)
+				a.exec.Observe(time.Since(start))
 				a.inFlight.Add(-1)
 			}
 		}()
@@ -159,29 +167,19 @@ func (a *admitter) tryBypass() bool {
 // endBypass releases a fast-path slot and ledgers the executed job.
 func (a *admitter) endBypass(wall time.Duration) {
 	<-a.bypass
-	a.jobWallNS.Add(wall.Nanoseconds())
-	a.jobsDone.Add(1)
+	a.exec.Observe(wall)
 	a.inFlight.Add(-1)
 	a.bypassWG.Done()
 }
 
-// meanJobNS is the observed mean executed-job wall time, 0 before any
-// job has finished.
-func (a *admitter) meanJobNS() int64 {
-	done := a.jobsDone.Load()
-	if done == 0 {
-		return 0
-	}
-	return a.jobWallNS.Load() / done
-}
-
 // retryAfterSeconds computes the honest Retry-After for a shed request:
 // the estimated time to clear the current queue — (waiting jobs + 1) ×
-// observed mean job wall time ÷ workers — rounded up to integer seconds
-// per RFC 9110, floored at 1 and capped at maxRetryAfterSec. With no
-// observed jobs yet it falls back to the 1-second floor.
+// the executed-job histogram's exact mean ÷ workers — rounded up to
+// integer seconds per RFC 9110, floored at 1 and capped at
+// maxRetryAfterSec. With no observed jobs yet it falls back to the
+// 1-second floor.
 func (a *admitter) retryAfterSeconds() int {
-	mean := a.meanJobNS()
+	mean := a.exec.MeanNS()
 	if mean <= 0 {
 		return 1
 	}

@@ -47,6 +47,16 @@ type Config struct {
 	// FlightCapacity is the per-request flight-recorder ring size used
 	// when a request opts into tracing (default flight.DefaultCapacity).
 	FlightCapacity int
+	// DisableMetrics turns the observability layer off: no /metricsz
+	// route, no latency histograms, no /statz latency section. The
+	// default (false) is on — instrumentation is purely observational
+	// (response bodies, transcripts, and cache bytes are byte-identical
+	// either way; the obs server suite pins this), so there is no
+	// correctness reason to disable it, only a keep-it-minimal one. The
+	// admission controller's Retry-After estimate stays identical in
+	// both modes: its executed-job histogram is live server state, not
+	// exposition state.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +152,8 @@ type Server struct {
 	admit    *admitter
 	cost     *costmodel.Model
 	flights  flightAggregate
+	metrics  *serverMetrics
+	traceSeq atomic.Uint64
 	start    time.Time
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -156,17 +168,23 @@ type Server struct {
 // load them with LoadGraph or the POST /v1/graphs endpoint.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	metrics := newServerMetrics(cfg.DisableMetrics)
 	s := &Server{
-		cfg:   cfg,
-		reg:   newRegistry(),
-		cache: newResultCache(cfg.CacheBytes),
-		admit: newAdmitter(cfg.Concurrency, cfg.QueueDepth),
-		cost:  costmodel.New(),
-		start: time.Now(),
+		cfg:     cfg,
+		reg:     newRegistry(),
+		cache:   newResultCache(cfg.CacheBytes),
+		admit:   newAdmitter(cfg.Concurrency, cfg.QueueDepth, metrics.exec),
+		cost:    costmodel.New(),
+		metrics: metrics,
+		start:   time.Now(),
 	}
+	s.metrics.bind(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	}
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphsList)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphsLoad)
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphsUnload)
@@ -232,9 +250,10 @@ func (s *Server) Stats() report.ServerStats {
 		Rejected:      s.admit.rejected.Load(),
 		Refused:       s.admit.refused.Load(),
 		FastPath:      s.admit.fastPath.Load(),
-		JobsDone:      s.admit.jobsDone.Load(),
-		MeanJobMS:     float64(s.admit.meanJobNS()) / 1e6,
+		JobsDone:      int64(s.admit.exec.Count()),
+		MeanJobMS:     float64(s.admit.exec.MeanNS()) / 1e6,
 		RetryAfterSec: s.admit.retryAfterSeconds(),
+		Latency:       s.metrics.latencySection(),
 		Cache:         s.cache.stats(),
 		Flight:        s.flights.stats(),
 		Graphs:        s.reg.list(),
