@@ -125,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		refineF = fs.Bool("refine", false, "measure base vs refined candidate quality on planted-clique workloads instead of engines")
 		flightF = fs.Bool("flight", false, "measure flight-recorder overhead (recorder on vs off) instead of engines")
 		searchB = fs.Bool("search-batch", false, "additionally measure batched ε-Search probe throughput per engine")
+		countB  = fs.Bool("count", false, "additionally measure Turán-shadow counting throughput (engine=shadow rows)")
 		costfit = fs.Bool("costfit", false, "fit the admission cost model on a fixed solve grid and emit it as JSON")
 		costchk = fs.Bool("costcheck", false, "re-solve the fixed grid and fail on >3x drift vs the committed cost model")
 		model   = fs.String("model", "COSTMODEL.json", "with -costcheck: the committed cost-model artifact to check against")
@@ -204,6 +205,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Results = append(rep.Results, findBenchmarks(stderr, *quick, *seed)...)
 		if *searchB {
 			results, err := searchBatchBenchmarks(stderr, *quick, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "bench:", err)
+				return 1
+			}
+			rep.Results = append(rep.Results, results...)
+		}
+		if *countB {
+			results, err := countBenchmarks(stderr, *quick, *seed)
 			if err != nil {
 				fmt.Fprintln(stderr, "bench:", err)
 				return 1
@@ -871,6 +880,71 @@ func searchBatchBenchmarks(stderr io.Writer, quick bool, seed int64) ([]report.M
 	return out, nil
 }
 
+// --- count: Turán-shadow sampling throughput ------------------------------
+
+// countBenchmarks measures the counting engine: per workload and clique
+// size, one Count call (shadow build + all draws) best-of-k, reported as
+// Measurement rows with the estimate columns filled — engine "shadow" in
+// BENCH_engine.json, joining the solve rows downstream tooling already
+// parses.
+func countBenchmarks(stderr io.Writer, quick bool, seed int64) ([]report.Measurement, error) {
+	pt := expt.ScalePoint{N: 100_000, Size: 1000, AvgDeg: 12}
+	samples := 1 << 16
+	if quick {
+		pt = expt.ScalePoint{N: 5_000, Size: 300, AvgDeg: 10}
+		samples = 1 << 13
+	}
+	inst := expt.ScaleInstance(pt, seed)
+	inst.Graph.CSR()
+	name := fmt.Sprintf("count/planted-n%d", pt.N)
+	var out []report.Measurement
+	for _, k := range []int{3, 4, 5} {
+		fmt.Fprintf(stderr, "bench: %s k=%d...\n", name, k)
+		solver, err := nearclique.New(
+			nearclique.WithEngine(nearclique.EngineShadow),
+			nearclique.WithCliqueSize(k),
+			nearclique.WithSamples(samples),
+			nearclique.WithSeed(seed+1),
+		)
+		if err != nil {
+			return nil, err
+		}
+		m := report.Measurement{
+			Workload: name, Engine: "shadow",
+			GraphDigest: inst.Graph.Digest(),
+			N:           inst.Graph.N(), M: inst.Graph.M(),
+			K: k, CountSamples: samples,
+		}
+		const reps = 3
+		for i := 0; i < reps; i++ {
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			res, err := solver.Count(context.Background(), inst.Graph)
+			wall := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				return nil, fmt.Errorf("%s k=%d: %w", name, k, err)
+			}
+			if i == 0 || wall < m.WallNS {
+				m.WallNS = wall
+				m.Cliques = res.Cliques
+				m.NearCliques = res.NearCliques
+				m.Allocs = ms1.Mallocs - ms0.Mallocs
+				m.HeapBytes = heapGrowth(&ms0, &ms1)
+			}
+		}
+		if m.WallNS > 0 {
+			// Both passes draw: the clique pass and (for ε > 0 with slack)
+			// the near pass, 2·samples total draws per Count.
+			m.SamplesPerSec = round2(float64(2*samples) / (float64(m.WallNS) / 1e9))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 // --- cost model: fit and drift gate --------------------------------------
 
 // costDriftLimit is the CI gate: the committed model's predicted wall
@@ -937,9 +1011,48 @@ func costSolve(g *nearclique.Graph, pt expt.ScalePoint, eng nearclique.Engine, s
 	return feat, res, wall, nil
 }
 
+// costCountK is the clique size the shadow rows of the fit/check grid
+// run; costCountSamples the draw count. Fixed values keep the grid's
+// shadow work spread on the (n, m) axis, which the regression needs.
+const (
+	costCountK       = 4
+	costCountSamples = 4096
+)
+
+// costCount runs one grid count and returns the features the server
+// would price it by, the result, and the wall time — the counting twin
+// of costSolve.
+func costCount(g *nearclique.Graph, seed int64) (costmodel.Features, *nearclique.CountResult, int64, error) {
+	feat := costmodel.Features{
+		Engine: "shadow",
+		N:      g.N(),
+		M:      g.M(),
+		Sample: costCountSamples,
+		K:      costCountK,
+	}
+	solver, err := nearclique.New(
+		nearclique.WithEngine(nearclique.EngineShadow),
+		nearclique.WithCliqueSize(costCountK),
+		nearclique.WithSamples(costCountSamples),
+		nearclique.WithSeed(seed),
+	)
+	if err != nil {
+		return feat, nil, 0, err
+	}
+	start := time.Now()
+	res, err := solver.Count(context.Background(), g)
+	wall := time.Since(start).Nanoseconds()
+	if err != nil {
+		return feat, nil, 0, fmt.Errorf("costfit shadow n=%d: %w", g.N(), err)
+	}
+	return feat, res, wall, nil
+}
+
 // costFitGrid solves the fixed grid and fits the admission cost model on
 // the observed (rounds, bytes, wall) triples — the COSTMODEL.json
-// generator.
+// generator. Shadow counting rows observe leaves in place of rounds (the
+// estimator has no message rounds) and train the same regression the
+// /v1/count admission path prices by.
 func costFitGrid(stderr io.Writer, quick bool, seed int64) (*costmodel.Model, error) {
 	model := costmodel.New()
 	for _, pt := range costPoints(quick) {
@@ -954,6 +1067,14 @@ func costFitGrid(stderr io.Writer, quick bool, seed int64) (*costmodel.Model, er
 				}
 				model.Observe(feat, int64(res.Metrics.Rounds), int64(res.Metrics.Bits)/8, wall)
 			}
+		}
+		fmt.Fprintf(stderr, "bench: costfit shadow n=%d...\n", pt.N)
+		for i := 0; i < costFitSeeds; i++ {
+			feat, res, wall, err := costCount(inst.Graph, seed+1+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			model.Observe(feat, int64(res.CliqueLeaves+res.NearLeaves), 0, wall)
 		}
 	}
 	return model, nil
@@ -979,6 +1100,27 @@ func costCheck(stderr io.Writer, quick bool, seed int64, path string) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	failed := false
+	// check compares one cell's observed geometric-mean wall time against
+	// the committed prediction, shared by the solve and count cells.
+	check := func(label string, n int, feat costmodel.Features, observed float64) error {
+		pred := model.Predict(feat)
+		if !pred.Reliable() {
+			return fmt.Errorf("no reliable %s prediction in %s (samples=%d): refit with -costfit",
+				label, path, pred.Samples)
+		}
+		ratio := observed / pred.NS
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		status := "ok"
+		if ratio > costDriftLimit {
+			status = "DRIFT"
+			failed = true
+		}
+		fmt.Fprintf(stderr, "bench: costcheck %s n=%d predicted=%.2fms observed=%.2fms ratio=%.2f %s\n",
+			label, n, pred.NS/1e6, observed/1e6, ratio, status)
+		return nil
+	}
 	for _, pt := range costPoints(quick) {
 		inst := expt.ScaleInstance(pt, seed)
 		inst.Graph.CSR()
@@ -999,23 +1141,29 @@ func costCheck(stderr io.Writer, quick bool, seed int64, path string) error {
 				}
 				logSum += math.Log(float64(best))
 			}
-			observed := math.Exp(logSum / costFitSeeds)
-			pred := model.Predict(feat)
-			if !pred.Reliable() {
-				return fmt.Errorf("no reliable %s prediction in %s (samples=%d): refit with -costfit",
-					eng, path, pred.Samples)
+			if err := check(eng.String(), pt.N, feat, math.Exp(logSum/costFitSeeds)); err != nil {
+				return err
 			}
-			ratio := observed / pred.NS
-			if ratio < 1 {
-				ratio = 1 / ratio
+		}
+		// The shadow counting cell: same seeds, same best-of-2, same gate.
+		var logSum float64
+		var feat costmodel.Features
+		for i := 0; i < costFitSeeds; i++ {
+			var best int64
+			for rep := 0; rep < 2; rep++ {
+				f, _, wall, err := costCount(inst.Graph, seed+1+int64(i))
+				if err != nil {
+					return err
+				}
+				if rep == 0 || wall < best {
+					best = wall
+				}
+				feat = f
 			}
-			status := "ok"
-			if ratio > costDriftLimit {
-				status = "DRIFT"
-				failed = true
-			}
-			fmt.Fprintf(stderr, "bench: costcheck %s n=%d predicted=%.2fms observed=%.2fms ratio=%.2f %s\n",
-				eng, pt.N, pred.NS/1e6, observed/1e6, ratio, status)
+			logSum += math.Log(float64(best))
+		}
+		if err := check("shadow", pt.N, feat, math.Exp(logSum/costFitSeeds)); err != nil {
+			return err
 		}
 	}
 	if failed {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,5 +167,29 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "bench") {
 		t.Fatalf("version output %q", out.String())
+	}
+}
+
+func TestBenchCountQuickEmitsValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench run in -short mode")
+	}
+	results, err := countBenchmarks(io.Discard, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want one row per k in {3,4,5}, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Engine != "shadow" || r.K < 3 || r.CountSamples <= 0 {
+			t.Fatalf("malformed count row %+v", r)
+		}
+		if r.WallNS <= 0 || r.Cliques < 0 || r.NearCliques < r.Cliques || r.SamplesPerSec <= 0 {
+			t.Fatalf("degenerate count row %+v", r)
+		}
+		if r.GraphDigest == "" {
+			t.Fatalf("count row missing graph digest: %+v", r)
+		}
 	}
 }

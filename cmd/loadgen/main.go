@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -107,14 +108,23 @@ func slotMultipliers(pattern string) []float64 {
 func arrivals(duration time.Duration, rps float64, pattern string) []time.Duration {
 	slot := duration / scheduleSlots
 	var out []time.Duration
-	carry := 0.0 // fractional arrivals roll into the next slot, so low rates still deliver their full rate
+	// Cumulative rounding: slot i issues round(cum_i) − issued arrivals,
+	// where cum_i is the exact fractional arrival count through slot i.
+	// The truncate-and-carry loop this replaces under-delivered the final
+	// fraction (cumulative floor, not round) and compounded float error
+	// carry by carry; here each slot's deficit is bounded by half an
+	// arrival and the total is exactly round(Σ rps·mulᵢ·slot) — low rates
+	// still deliver their full rate. round(cum) is nondecreasing because
+	// the multipliers are nonnegative, so n is never negative.
+	cum := 0.0
+	issued := 0
 	for i, mul := range slotMultipliers(pattern) {
-		want := rps*mul*slot.Seconds() + carry
-		n := int(want)
-		carry = want - float64(n)
+		cum += rps * mul * slot.Seconds()
+		n := int(math.Round(cum)) - issued
 		for k := 0; k < n; k++ {
 			out = append(out, time.Duration(i)*slot+time.Duration(k)*slot/time.Duration(n))
 		}
+		issued += n
 	}
 	return out
 }

@@ -38,6 +38,56 @@ func TestArrivalsDeliverFullRate(t *testing.T) {
 	}
 }
 
+// TestArrivalsPerSlotTable pins the cumulative-rounding schedule slot
+// by slot: nᵢ = round(cumᵢ) − issued, cumᵢ the exact fractional arrival
+// count through slot i. The truncate-and-carry loop this replaced
+// delivered cumulative floor instead — at 0.75 rps over 2s it issued 1
+// arrival instead of 2, permanently dropping the final fraction.
+func TestArrivalsPerSlotTable(t *testing.T) {
+	dur := 2 * time.Second
+	slot := dur / scheduleSlots
+	perSlot := func(offs []time.Duration) []int {
+		counts := make([]int, scheduleSlots)
+		for _, off := range offs {
+			counts[int(off/slot)]++
+		}
+		return counts
+	}
+	cases := []struct {
+		name    string
+		rps     float64
+		pattern string
+		want    []int
+	}{
+		// 0.75 arrivals/slot: cum = 0.75, 1.5, 2.25, 3.0, … rounds to
+		// 1, 2, 2, 3, … — the period-4 slot pattern [1,1,0,1], total 15.
+		{"constant 7.5rps", 7.5, "constant",
+			[]int{1, 1, 0, 1, 1, 1, 0, 1, 1, 1, 0, 1, 1, 1, 0, 1, 1, 1, 0, 1}},
+		// Quiet/hot pairs at 0.25/1.75 arrivals per slot: each 4-slot
+		// period contributes cum += 4, landing [0,1,1,2], total 20.
+		{"burst 10rps", 10, "burst",
+			[]int{0, 1, 1, 2, 0, 1, 1, 2, 0, 1, 1, 2, 0, 1, 1, 2, 0, 1, 1, 2}},
+		// 0.08 arrivals/slot — less than one per slot and only 1.6 in
+		// total: cum crosses rounding boundaries at slot 6 (0.56) and
+		// slot 18 (1.52), so both arrivals are delivered; the old floor
+		// semantics issued just ⌊1.6⌋ = 1.
+		{"low-rate 0.8rps", 0.8, "constant",
+			[]int{0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}},
+	}
+	for _, tc := range cases {
+		got := perSlot(arrivals(dur, tc.rps, tc.pattern))
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d slots, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: slot table %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
 // TestSlotMultipliersMeanOne: every pattern averages to ~1× the base
 // rate so target_rps means the same thing across scenarios (burst runs
 // hotter by design via the scenario's rateMul, not the pattern shape).

@@ -15,6 +15,7 @@
 //	nearclique -eps 0.2 -s 8 -boost 4 -engine sharded web.edges
 //	nearclique -engine sharded -timeout 30s -json web.ncsr
 //	nearclique -refine near -json web.ncsr    # polish candidates post-run
+//	nearclique -count 4 -samples 8192 -json web.ncsr   # Turán-shadow counting
 //
 // With -json the result is emitted as the machine-readable schema shared
 // with cmd/bench (internal/report): engine, graph shape, cost block
@@ -50,7 +51,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 1, "random seed")
 		boost    = fs.Int("boost", 1, "boosting versions λ (Section 4.1)")
 		minSize  = fs.Int("minsize", 0, "disqualify near-cliques smaller than this")
-		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async | frontier (overrides -mode)")
+		engineFl = fs.String("engine", "", "auto | seq | sharded | legacy | async | frontier | shadow (overrides -mode)")
+		countK   = fs.Int("count", 0, "estimate k-clique and (k,ε)-near-clique counts by Turán-shadow sampling instead of solving (0 = off)")
+		samples  = fs.Int("samples", 0, "estimator draws for -count (0 = the 4096 default)")
+		conf     = fs.Float64("confidence", 0, "error-bound coverage 1−δ for -count (0 = the 0.99 default)")
 		mode     = fs.String("mode", "seq", `deprecated: "dist" (= -engine sharded) or "seq" (= -engine seq)`)
 		maxR     = fs.Int("maxrounds", 0, "deterministic round bound (0 = unlimited; simulator engines)")
 		refineFl = fs.String("refine", "", `refinement post-pass: "near[:eps]" or "quasi:gamma", optionally ",moves=N,pool=N" (empty = off)`)
@@ -94,6 +98,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *trace < 0 {
+		fmt.Fprintln(stderr, "nearclique: -trace must be >= 0")
+		return 2
+	}
+	if (*samples != 0 || *conf != 0) && *countK == 0 {
+		fmt.Fprintln(stderr, "nearclique: -samples and -confidence require -count")
+		return 2
+	}
+	if *countK > 0 {
+		if *engineFl == "" {
+			// -mode's "seq" default is a solve-path spelling; counting runs
+			// the shadow engine unless -engine explicitly says otherwise.
+			engine = nearclique.EngineShadow
+		}
+		return runCount(g, engine, countConfig{
+			k: *countK, samples: *samples, confidence: *conf,
+			eps: *eps, seed: *seed, timeout: *timeout,
+			trace: *trace, jsonOut: *jsonOut,
+		}, stdout, stderr)
+	}
+
 	opts := []nearclique.Option{
 		nearclique.WithEngine(engine),
 		nearclique.WithEpsilon(*eps),
@@ -120,10 +145,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opts = append(opts, nearclique.WithRefine(spec))
 	}
 	var rec *nearclique.FlightRecorder
-	if *trace < 0 {
-		fmt.Fprintln(stderr, "nearclique: -trace must be >= 0")
-		return 2
-	}
 	if *trace > 0 {
 		rec = nearclique.NewFlightRecorder(*trace)
 		opts = append(opts, nearclique.WithFlightRecorder(rec))
@@ -199,6 +220,89 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "   refined: size=%d density=%.4f moves=%d seed=%d improved=%v\n",
 				len(ref.Members), ref.Density, ref.Moves, ref.SeedVertex, ref.Improved)
 		}
+	}
+	return 0
+}
+
+// countConfig carries the -count path's flags.
+type countConfig struct {
+	k, samples int
+	confidence float64
+	eps        float64
+	seed       int64
+	timeout    time.Duration
+	trace      int
+	jsonOut    bool
+}
+
+// runCount executes the counting path: estimate the k-clique and
+// (k,ε)-near-clique counts by Turán-shadow sampling and print them with
+// their Hoeffding bounds — or, with -json, the CountRun schema shared
+// with /v1/count and cmd/bench -count.
+func runCount(g *nearclique.Graph, engine nearclique.Engine, cc countConfig, stdout, stderr io.Writer) int {
+	opts := []nearclique.Option{
+		nearclique.WithEngine(engine),
+		nearclique.WithCliqueSize(cc.k),
+		nearclique.WithEpsilon(cc.eps),
+		nearclique.WithSeed(cc.seed),
+	}
+	if cc.samples > 0 {
+		opts = append(opts, nearclique.WithSamples(cc.samples))
+	}
+	if cc.confidence > 0 {
+		opts = append(opts, nearclique.WithConfidence(cc.confidence))
+	}
+	var rec *nearclique.FlightRecorder
+	if cc.trace > 0 {
+		rec = nearclique.NewFlightRecorder(cc.trace)
+		opts = append(opts, nearclique.WithFlightRecorder(rec))
+	}
+	solver, err := nearclique.New(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "nearclique:", err)
+		return 2
+	}
+	ctx := context.Background()
+	if cc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cc.timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, countErr := solver.Count(ctx, g)
+	wall := time.Since(start)
+
+	if cc.jsonOut {
+		run := report.FromCount("shadow", g, res, wall, countErr)
+		run.Flight = report.FlightFromRecorder(rec, cc.trace)
+		enc, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "nearclique:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(enc))
+		if countErr != nil {
+			return 1
+		}
+		return 0
+	}
+
+	if countErr != nil {
+		fmt.Fprintln(stderr, "nearclique:", countErr)
+		return 1
+	}
+	mode := "sampled"
+	if res.Exact {
+		mode = "exact"
+	}
+	fmt.Fprintf(stdout, "graph: n=%d m=%d | k=%d eps=%v (%s)\n", g.N(), g.M(), res.K, res.Epsilon, mode)
+	fmt.Fprintf(stdout, "cliques: %.6g ± %.4g (hits %d/%d, %d leaves, weight %.6g)\n",
+		res.Cliques, res.CliquesErrBound, res.CliqueHits, res.Samples, res.CliqueLeaves, res.CliqueWeight)
+	fmt.Fprintf(stdout, "near-cliques: %.6g ± %.4g (hits %d/%d, %d leaves, weight %.6g)\n",
+		res.NearCliques, res.NearErrBound, res.NearHits, res.Samples, res.NearLeaves, res.NearWeight)
+	if rec != nil {
+		dumpTrace(stdout, rec)
 	}
 	return 0
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"nearclique"
+	"nearclique/internal/report"
 )
 
 func edgeList(t *testing.T) string {
@@ -253,5 +254,82 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "nearclique") {
 		t.Fatalf("version output %q", out.String())
+	}
+}
+
+func TestRunCountText(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-count", "3", "-samples", "512", "-seed", "5"},
+		strings.NewReader(edgeList(t)), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "cliques:") || !strings.Contains(s, "near-cliques:") || !strings.Contains(s, "k=3") {
+		t.Fatalf("missing counting summary: %s", s)
+	}
+}
+
+func TestRunCountJSONDeterministic(t *testing.T) {
+	input := edgeList(t)
+	args := []string{"-count", "4", "-samples", "1024", "-confidence", "0.95", "-seed", "11", "-json"}
+	var a, b, errOut bytes.Buffer
+	if code := run(args, strings.NewReader(input), &a, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run(args, strings.NewReader(input), &b, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	// The two runs agree bit-for-bit on everything but the wall clock.
+	var ra, rb report.CountRun
+	if err := json.Unmarshal(a.Bytes(), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b.Bytes(), &rb); err != nil {
+		t.Fatal(err)
+	}
+	ra.WallNS, rb.WallNS = 0, 0
+	if ra != rb {
+		t.Fatalf("two identical -count runs emitted different estimates:\n%+v\n%+v", ra, rb)
+	}
+	var rec struct {
+		Engine     string  `json:"engine"`
+		K          int     `json:"k"`
+		Samples    int     `json:"samples"`
+		Confidence float64 `json:"confidence"`
+		Cliques    float64 `json:"cliques"`
+		Bound      float64 `json:"cliques_err_bound"`
+		Near       float64 `json:"near_cliques"`
+		Error      string  `json:"error"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Engine != "shadow" || rec.K != 4 || rec.Samples != 1024 || rec.Confidence != 0.95 || rec.Error != "" {
+		t.Fatalf("count record malformed: %+v", rec)
+	}
+	if rec.Cliques < 0 || rec.Near < rec.Cliques {
+		t.Fatalf("count estimates malformed: %+v", rec)
+	}
+}
+
+func TestRunCountFlagValidation(t *testing.T) {
+	// -samples/-confidence without -count fail loudly.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-samples", "64"}, strings.NewReader(edgeList(t)), &out, &errOut); code != 2 {
+		t.Fatalf("-samples without -count: exit %d, want 2 (%s)", code, errOut.String())
+	}
+	// Out-of-range k fails at option validation.
+	errOut.Reset()
+	if code := run([]string{"-count", "1"}, strings.NewReader(edgeList(t)), &out, &errOut); code != 2 {
+		t.Fatalf("-count 1: exit %d, want 2 (%s)", code, errOut.String())
+	}
+	// A non-counting engine refuses the count path.
+	errOut.Reset()
+	if code := run([]string{"-count", "3", "-engine", "sharded"}, strings.NewReader(edgeList(t)), &out, &errOut); code != 1 {
+		t.Fatalf("-count -engine sharded: exit %d, want 1 (%s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "shadow") {
+		t.Fatalf("engine refusal not surfaced: %s", errOut.String())
 	}
 }

@@ -70,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 		cacheMB     = fs.Int64("cache-mb", 32, "result-cache budget in MiB (0 disables)")
 		timeout     = fs.Duration("timeout", time.Minute, "default per-request deadline incl. queue wait (0 = none; requests may set timeout_ms)")
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain may take before connections are force-closed")
-		costPath    = fs.String("costmodel", "", "cost-model JSON file: seeded at startup if present, saved back on clean shutdown (empty = in-memory only)")
+		costPath    = fs.String("costmodel", "", "cost-model JSON file: seeded at startup if present, saved back on exit (empty = in-memory only)")
 		cheap       = fs.Duration("cheap", 10*time.Millisecond, "predicted-wall-time threshold for the admission fast path (0 disables)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = off; keep it off the service port)")
 		noMetrics   = fs.Bool("no-metrics", false, "disable the observability layer (/metricsz, latency histograms)")
@@ -131,8 +131,7 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 
 	// Seed the admission cost model from a committed artifact so a fresh
 	// daemon prices requests from the first one; it keeps training from
-	// live traffic either way and writes the refreshed fit back on clean
-	// shutdown.
+	// live traffic either way and writes the refreshed fit back on exit.
 	if *costPath != "" {
 		switch blob, err := os.ReadFile(*costPath); {
 		case err == nil:
@@ -164,6 +163,12 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 		fmt.Fprintf(stderr, "nearcliqued: cost model saved to %s (%d samples)\n",
 			*costPath, srv.CostModel().Samples())
 	}
+	// Deferred, not called at the end of the drain path: the fit trained
+	// from live traffic must survive every exit — clean drain, drain
+	// timeout (force-close), and listener failure alike. Registered after
+	// srv is built but before srv.Close runs (defers are LIFO), so the
+	// model is still live when it is snapshotted.
+	defer saveCostModel()
 
 	for _, spec := range loads {
 		name, path, _ := strings.Cut(spec, "=")
@@ -224,7 +229,6 @@ func run(args []string, stdout, stderr io.Writer, sig chan os.Signal) int {
 			return 1
 		}
 		srv.Drain()
-		saveCostModel()
 		fmt.Fprintln(stderr, "nearcliqued: drained, exiting")
 		return 0
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -156,5 +157,94 @@ func TestServeAndDrainOnSIGTERM(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "drained") {
 		t.Fatalf("no drain announcement; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestCostModelPersistsOnDrainTimeout pins the unclean exit path: a
+// drain that exceeds -drain-grace force-closes and exits 1, and the
+// trained cost model must still be written back. (It used to be saved
+// only on the clean-drain return, so a slow drain silently threw away
+// everything the daemon had learned from live traffic.)
+func TestCostModelPersistsOnDrainTimeout(t *testing.T) {
+	g := gen.PlantedNearClique(300, 90, 0.02, 0.05, 1).Graph
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.ncsr")
+	if err := graphio.WriteSnapshotFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	costPath := filepath.Join(dir, "cost.json")
+
+	sig := make(chan os.Signal, 1)
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-load", "g=" + path,
+			"-costmodel", costPath, "-drain-grace", "1ms"},
+			io.Discard, stderr, sig)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr:\n%s", stderr.String())
+		}
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "cost model starting cold") {
+		t.Fatalf("expected cold-start announcement; stderr:\n%s", stderr.String())
+	}
+
+	// A boosted run long enough (tens of ms) that the 1ms grace below is
+	// guaranteed to expire while it is still on the wire.
+	go func() {
+		resp, err := http.Post(base+"/v1/solve", "application/json",
+			strings.NewReader(`{"graph":"g","engine":"sharded","boost":8,"seed":5}`))
+		if err == nil {
+			io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	inFlight := false
+	for i := 0; i < 5000 && !inFlight; i++ {
+		resp, err := http.Get(base + "/statz")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			inFlight = strings.Contains(string(b), `"in_flight":1`)
+		}
+		if !inFlight {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if !inFlight {
+		t.Skipf("solve never observably in flight; cannot force a drain timeout")
+	}
+	sig <- syscall.SIGTERM
+
+	select {
+	case code := <-exit:
+		if code != 1 {
+			t.Fatalf("want exit 1 from forced drain, got %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "force-closing") {
+		t.Fatalf("drain was not forced; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cost model saved to "+costPath) {
+		t.Fatalf("cost model not saved on forced exit; stderr:\n%s", stderr.String())
+	}
+	blob, err := os.ReadFile(costPath)
+	if err != nil {
+		t.Fatalf("cost model file: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("saved cost model is not valid JSON: %v\n%s", err, blob)
 	}
 }

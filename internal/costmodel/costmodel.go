@@ -61,17 +61,32 @@ type Features struct {
 	Engine string
 	// N and M are the graph's node and undirected edge counts.
 	N, M int
-	// Epsilon and Sample are the run's ε and expected sample size.
+	// Epsilon and Sample are the run's ε and expected sample size. For
+	// the counting engine ("shadow") Sample is the estimator draw count.
 	Epsilon, Sample float64
 	// Versions is the boosting parameter λ (≥ 1).
 	Versions int
+	// K is the clique size of a counting request (engine "shadow" only;
+	// zero for solve traffic).
+	K int
 	// Refine reports whether the refinement post-pass runs.
 	Refine bool
 }
 
 // work is the model's size normalizer: total protocol work across
 // boosting versions. The +1 keeps degenerate empty graphs off zero.
+// Counting requests (engine "shadow") do different work — one O(n + m)
+// shadow construction plus Sample draws costing O(k²) pair probes each
+// — so their normalizer adds the sampling term instead of multiplying
+// by versions; the fitted exponent absorbs what the shape misses.
 func (f Features) work() float64 {
+	if f.Engine == "shadow" {
+		k := f.K
+		if k < 2 {
+			k = 2
+		}
+		return float64(f.N+f.M+1) + f.Sample*float64(k*k)
+	}
 	v := f.Versions
 	if v < 1 {
 		v = 1

@@ -229,3 +229,39 @@ func TestConcurrentObservePredict(t *testing.T) {
 		t.Fatalf("Samples = %d, want %d", got, 8*500)
 	}
 }
+
+func TestShadowWorkTerm(t *testing.T) {
+	// The shadow engine's work is one O(n+m) build plus Sample draws at
+	// O(k²) pair probes each; Versions/Epsilon must not enter.
+	f := Features{Engine: "shadow", N: 1000, M: 4000, Sample: 4096, K: 5}
+	if got, want := f.work(), float64(1000+4000+1)+4096*25; got != want {
+		t.Fatalf("shadow work = %g, want %g", got, want)
+	}
+	// K below the floor clamps to 2 instead of shrinking work to zero.
+	degenerate := f
+	degenerate.K = 0
+	if got, want := degenerate.work(), float64(1000+4000+1)+4096*4; got != want {
+		t.Fatalf("shadow work (k clamp) = %g, want %g", got, want)
+	}
+
+	// Observe/Predict round-trips through the shadow term like any other
+	// engine: doubling samples roughly doubles the predicted cost once k²
+	// dominates the build term.
+	m := New()
+	for i := 0; i < minSamples; i++ {
+		m.Observe(f, 0, 0, int64(100*f.work()))
+	}
+	p := m.Predict(f)
+	if !p.Reliable() {
+		t.Fatalf("shadow prediction not reliable after %d samples", minSamples)
+	}
+	want := 100 * f.work()
+	if math.Abs(p.NS-want)/want > 1e-9 {
+		t.Fatalf("NS = %g, want %g", p.NS, want)
+	}
+	doubled := f
+	doubled.Sample = 8192
+	if pd := m.Predict(doubled); pd.NS <= p.NS {
+		t.Fatalf("doubling samples did not raise predicted cost: %g -> %g", p.NS, pd.NS)
+	}
+}

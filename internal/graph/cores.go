@@ -7,11 +7,31 @@ package graph
 // peel in index order), so the "highest-core vertex" selections built on
 // top of it are reproducible.
 func (g *Graph) CoreNumbers() []int32 {
+	core, _ := g.peelCores()
+	return core
+}
+
+// DegeneracyOrder returns the degeneracy ordering of the graph: the node
+// sequence produced by repeatedly peeling a minimum-degree vertex, with
+// the same deterministic tie-breaks as CoreNumbers (equal degrees peel in
+// index order). Orienting every edge from earlier to later position
+// yields a DAG whose maximum out-degree is the graph degeneracy — the
+// substrate the Turán-shadow engine (internal/shadow) refines over.
+// Returns nil for the empty graph.
+func (g *Graph) DegeneracyOrder() []int32 {
+	_, vert := g.peelCores()
+	return vert
+}
+
+// peelCores runs the bucket peel once, returning both the core numbers
+// and the peel order (vert): the order nodes were removed in, which is
+// exactly the degeneracy ordering.
+func (g *Graph) peelCores() (core, vert []int32) {
 	n := g.N()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
-	core := make([]int32, n)
+	core = make([]int32, n)
 	maxDeg := 0
 	for v := 0; v < n; v++ {
 		d := g.Degree(v)
@@ -34,7 +54,7 @@ func (g *Graph) CoreNumbers() []int32 {
 		bin[d] = start
 		start += cnt
 	}
-	vert := make([]int32, n)
+	vert = make([]int32, n)
 	pos := make([]int, n)
 	for v := 0; v < n; v++ {
 		pos[v] = bin[core[v]]
@@ -67,5 +87,5 @@ func (g *Graph) CoreNumbers() []int32 {
 			core[u]--
 		}
 	}
-	return core
+	return core, vert
 }

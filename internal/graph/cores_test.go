@@ -41,6 +41,55 @@ func TestCoreNumbersSmallShapes(t *testing.T) {
 	}
 }
 
+func TestDegeneracyOrderIsValidPeel(t *testing.T) {
+	// The order must be a permutation, and orienting edges left-to-right
+	// must give max out-degree equal to the degeneracy (= max core number):
+	// every node's later-neighbor count is bounded by its core number.
+	g := FromEdges(9, [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {0, 3}, // K4 on 0..3
+		{3, 4}, {4, 5}, {5, 6}, {4, 6}, // triangle 4,5,6 hanging off
+		{6, 7}, {7, 8}, // tail
+	})
+	order := g.DegeneracyOrder()
+	if len(order) != g.N() {
+		t.Fatalf("order length = %d, want %d", len(order), g.N())
+	}
+	rank := make([]int, g.N())
+	seen := make([]bool, g.N())
+	for i, v := range order {
+		if seen[v] {
+			t.Fatalf("node %d appears twice in order", v)
+		}
+		seen[v] = true
+		rank[v] = i
+	}
+	cores := g.CoreNumbers()
+	maxCore := int32(0)
+	for _, c := range cores {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		out := 0
+		for _, w := range g.Neighbors(v) {
+			if rank[int(w)] > rank[v] {
+				out++
+			}
+		}
+		if int32(out) > maxCore {
+			t.Fatalf("node %d has %d later-neighbors, degeneracy is %d", v, out, maxCore)
+		}
+		if int32(out) > cores[v] {
+			t.Fatalf("node %d has %d later-neighbors, core number is %d", v, out, cores[v])
+		}
+	}
+
+	if got := (&Graph{}).DegeneracyOrder(); got != nil {
+		t.Fatalf("zero graph order = %v, want nil", got)
+	}
+}
+
 func TestCoreNumbersAgreeWithPeelingDefinition(t *testing.T) {
 	// Cross-check on a mixed graph: core[v] ≥ k iff v survives repeated
 	// removal of nodes with degree < k.

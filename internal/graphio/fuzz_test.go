@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -100,6 +101,30 @@ func FuzzSnapshot(f *testing.F) {
 	}
 	f.Add([]byte("NCSR"))
 	f.Add([]byte{})
+	// Adversarial headers aimed at the section arithmetic: node/edge
+	// counts whose byte-length products wrap uint64 (8·(n+1) ≡ 0 for
+	// n = 2^61−1 and n = 2^64−1), counts just past the int32 index
+	// space, and offsets that push the section end past the address
+	// space. All must error; none may panic or size an allocation from
+	// the wrapped value.
+	hostileHdr := func(n, numTargets, offsetsLen, targetsOff, targetsLen uint64) []byte {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, graph.FromEdgeList(0, nil)); err != nil {
+			f.Fatal(err)
+		}
+		hdr := buf.Bytes()[:snapHeaderSize]
+		binary.LittleEndian.PutUint64(hdr[8:16], n)
+		binary.LittleEndian.PutUint64(hdr[16:24], numTargets)
+		binary.LittleEndian.PutUint64(hdr[32:40], offsetsLen)
+		binary.LittleEndian.PutUint64(hdr[40:48], targetsOff)
+		binary.LittleEndian.PutUint64(hdr[48:56], targetsLen)
+		return hdr
+	}
+	f.Add(hostileHdr(1<<61-1, 0, 0, snapHeaderSize, 0))
+	f.Add(hostileHdr(^uint64(0), 0, 0, snapHeaderSize, 0))
+	f.Add(hostileHdr(1<<31, 0, 8*(1<<31+1), snapHeaderSize+8*(1<<31+1), 0))
+	f.Add(hostileHdr(0, 1<<32, 8, snapHeaderSize+8, 4<<32))
+	f.Add(hostileHdr(0, ^uint64(0), 8, snapHeaderSize+8, ^uint64(0)&^uint64(3)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := decodeSnapshot(data)
 		if err != nil {

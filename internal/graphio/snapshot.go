@@ -244,6 +244,17 @@ func parseSnapHeader(hdr []byte) (snapHeader, error) {
 	if h.numTargets > 2*uint64(MaxEdges) {
 		return h, fmt.Errorf("%w: snapshot declares %d directed edges, limit %d", ErrTooLarge, h.numTargets, 2*MaxEdges)
 	}
+	// Hard structural bounds, independent of the mutable MaxNodes/MaxEdges
+	// caps (comparisons above, arithmetic below): targets are int32 node
+	// indices, so a node count past int32 could never be referenced, and
+	// bounding n and 2m to int32 keeps every section-length product and
+	// offset sum below 2^36 — none of the arithmetic after this point can
+	// wrap regardless of what a caller set the caps to. (A caller who sets
+	// a cap negative turns its uint64 conversion into 2^64−1, silently
+	// disabling that cap check; these guards hold anyway.)
+	if h.n > math.MaxInt32 {
+		return h, fmt.Errorf("%w: snapshot declares %d nodes, past int32 node indices", ErrSnapshot, h.n)
+	}
 	if h.numTargets > math.MaxInt32 {
 		return h, fmt.Errorf("%w: %d directed edges exceed int32 edge indices", ErrSnapshot, h.numTargets)
 	}
@@ -311,7 +322,12 @@ func ReadSnapshot(r io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The header guards bound total below 2^36, which overflows int on
+	// 32-bit hosts where make would panic instead of erroring.
 	total := h.targetsOff + h.targetsLen
+	if total > uint64(math.MaxInt) {
+		return nil, fmt.Errorf("%w: snapshot spans %d bytes, past this platform's address space", ErrSnapshot, total)
+	}
 	data := make([]byte, total)
 	copy(data, hdr[:])
 	if _, err := io.ReadFull(r, data[snapHeaderSize:]); err != nil {

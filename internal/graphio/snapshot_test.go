@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -242,5 +243,54 @@ func TestSnapshotNodeCapRespectsOverride(t *testing.T) {
 	MaxNodes = 100
 	if _, err := decodeSnapshot(data); err != nil {
 		t.Fatalf("snapshot within raised cap rejected: %v", err)
+	}
+}
+
+// TestSnapHeaderOverflowIndependentOfCaps: the header's structural
+// guards must hold even when the mutable MaxNodes/MaxEdges caps are
+// raised to the integer ceiling — or set negative, which turns the
+// uint64 cap comparison into "anything goes". Without the int32 bounds
+// a node count near 2^61 wraps 8·(n+1) to 0, so a hostile header
+// declaring offsetsLen=0 would sail through the section arithmetic.
+func TestSnapHeaderOverflowIndependentOfCaps(t *testing.T) {
+	defer func(n, m int) { MaxNodes, MaxEdges = n, m }(MaxNodes, MaxEdges)
+
+	hostile := func(n, numTargets, offsetsLen, targetsOff, targetsLen uint64) []byte {
+		hdr := append([]byte(nil), snapBytes(t, gen.Empty(1))[:snapHeaderSize]...)
+		binary.LittleEndian.PutUint64(hdr[8:16], n)
+		binary.LittleEndian.PutUint64(hdr[16:24], numTargets)
+		binary.LittleEndian.PutUint64(hdr[32:40], offsetsLen)
+		binary.LittleEndian.PutUint64(hdr[40:48], targetsOff)
+		binary.LittleEndian.PutUint64(hdr[48:56], targetsLen)
+		return hdr
+	}
+	cases := map[string][]byte{
+		// 8·(n+1) wraps uint64 to exactly 0; every downstream field is
+		// chosen to be consistent with the wrapped value.
+		"wrapping offsetsLen": hostile(1<<61-1, 0, 0, snapHeaderSize, 0),
+		// n+1 itself wraps: 8·(2^64−1+1) = 0 too.
+		"n is MaxUint64": hostile(^uint64(0), 0, 0, snapHeaderSize, 0),
+		// Node count representable but past int32 — no target could ever
+		// reference the tail nodes.
+		"n past int32": hostile(1<<31, 0, 8*(1<<31+1), snapHeaderSize+8*(1<<31+1), 0),
+		// 4·2m wraps to 0 only far past int32; reject at the edge-index bound.
+		"numTargets past int32": hostile(0, 1<<32, 8, snapHeaderSize+8, 4<<32),
+	}
+	// A negative cap disables the ErrTooLarge comparison outright (its
+	// uint64 image is 2^64−1), so the structural ErrSnapshot guard is the
+	// only line of defense; at math.MaxInt either sentinel may fire first.
+	rejected := func(err error) bool {
+		return errors.Is(err, ErrSnapshot) || errors.Is(err, ErrTooLarge)
+	}
+	for _, caps := range []int{-1, math.MaxInt} {
+		MaxNodes, MaxEdges = caps, caps
+		for name, hdr := range cases {
+			if _, err := parseSnapHeader(hdr); !rejected(err) {
+				t.Errorf("caps=%d %s: want ErrSnapshot/ErrTooLarge, got %v", caps, name, err)
+			}
+			if _, err := ReadSnapshot(bytes.NewReader(hdr)); !rejected(err) {
+				t.Errorf("caps=%d %s via ReadSnapshot: want ErrSnapshot/ErrTooLarge, got %v", caps, name, err)
+			}
+		}
 	}
 }

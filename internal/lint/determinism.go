@@ -19,6 +19,7 @@ var transcriptScope = []string{
 	"internal/refine",
 	"internal/graph",
 	"internal/frontier",
+	"internal/shadow",
 }
 
 // emissionScope additionally gets the map-iteration-order check: these

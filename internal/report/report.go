@@ -11,6 +11,7 @@ import (
 	"nearclique/internal/core"
 	"nearclique/internal/flight"
 	"nearclique/internal/graph"
+	"nearclique/internal/shadow"
 )
 
 // Cost is the execution-cost block shared by every emitted record.
@@ -88,6 +89,69 @@ type Run struct {
 	// timestamp-free.
 	Trace *Trace `json:"trace,omitempty"`
 	Error string `json:"error,omitempty"`
+}
+
+// CountRun is the record one counting query emits: cmd/nearclique
+// -count prints it under -json and cmd/nearcliqued serves it from
+// /v1/count. The estimate fields mirror shadow.Result; the envelope
+// (engine, digest, shape, Cost, Flight, Trace, Error) mirrors Run so
+// downstream tooling joins solve and count records identically.
+type CountRun struct {
+	Engine      string `json:"engine"`
+	GraphDigest string `json:"graph_digest,omitempty"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Cost
+	K          int     `json:"k"`
+	Epsilon    float64 `json:"epsilon"`
+	Samples    int     `json:"samples"`
+	Confidence float64 `json:"confidence"`
+
+	Cliques         float64 `json:"cliques"`
+	CliquesErrBound float64 `json:"cliques_err_bound"`
+	CliqueHits      int64   `json:"clique_hits"`
+	NearCliques     float64 `json:"near_cliques"`
+	NearErrBound    float64 `json:"near_err_bound"`
+	NearHits        int64   `json:"near_hits"`
+
+	CliqueLeaves int     `json:"clique_leaves"`
+	CliqueWeight float64 `json:"clique_weight"`
+	NearLeaves   int     `json:"near_leaves"`
+	NearWeight   float64 `json:"near_weight"`
+	Exact        bool    `json:"exact"`
+
+	Flight *FlightSample `json:"flight,omitempty"`
+	Trace  *Trace        `json:"trace,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// FromCount assembles a CountRun from a counting outcome; res may be nil
+// on failure, leaving only the envelope and the error.
+func FromCount(engine string, g *graph.Graph, res *shadow.Result, wall time.Duration, err error) CountRun {
+	r := CountRun{Engine: engine, GraphDigest: g.Digest(), N: g.N(), M: g.M()}
+	r.WallNS = wall.Nanoseconds()
+	if err != nil {
+		r.Error = err.Error()
+	}
+	if res == nil {
+		return r
+	}
+	r.K = res.K
+	r.Epsilon = res.Epsilon
+	r.Samples = res.Samples
+	r.Confidence = res.Confidence
+	r.Cliques = res.Cliques
+	r.CliquesErrBound = res.CliquesErrBound
+	r.CliqueHits = res.CliqueHits
+	r.NearCliques = res.NearCliques
+	r.NearErrBound = res.NearErrBound
+	r.NearHits = res.NearHits
+	r.CliqueLeaves = res.CliqueLeaves
+	r.CliqueWeight = res.CliqueWeight
+	r.NearLeaves = res.NearLeaves
+	r.NearWeight = res.NearWeight
+	r.Exact = res.Exact
+	return r
 }
 
 // TraceSpan is one timed step of a request timeline, offsets relative to
@@ -195,6 +259,13 @@ type Measurement struct {
 	SeedsPerSec    float64 `json:"seeds_per_sec,omitempty"`
 	FoundEps       float64 `json:"found_eps,omitempty"`
 	SpeedupSharded float64 `json:"speedup_vs_sharded,omitempty"`
+	// Counting-workload fields (cmd/bench -count rows only): the query
+	// shape, the resulting estimates, and the sampling throughput.
+	K             int     `json:"k,omitempty"`
+	CountSamples  int     `json:"count_samples,omitempty"`
+	Cliques       float64 `json:"cliques,omitempty"`
+	NearCliques   float64 `json:"near_cliques,omitempty"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
 }
 
 // RefineMeasurement is the cmd/bench -refine record (BENCH_refine.json):

@@ -196,13 +196,20 @@ func (p solveParams) solver(concurrency int) (*nearclique.Solver, error) {
 		opts = append(opts, nearclique.WithFlightRecorder(p.flightRec))
 	}
 	if concurrency > 1 {
-		per := runtime.GOMAXPROCS(0) / concurrency
-		if per < 1 {
-			per = 1
-		}
-		opts = append(opts, nearclique.WithParallelism(per))
+		opts = append(opts, nearclique.WithParallelism(maxParallelismPer(concurrency)))
 	}
 	return nearclique.New(opts...)
+}
+
+// maxParallelismPer is the per-run parallelism cap when concurrency
+// workers may run at once — the workers split the machine instead of
+// oversubscribing it. Shared by the solve and count solver builders.
+func maxParallelismPer(concurrency int) int {
+	per := runtime.GOMAXPROCS(0) / concurrency
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // cacheKey is the canonical cache key: the graph's content digest plus
@@ -268,7 +275,7 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 		// be complete before Marshal — response writing itself is the one
 		// step no in-body span can cover.
 		p.trace.Span("solve", start, solveEnd)
-		addPhaseSpans(p.trace, p.flightRec, rec.Flight, p.trace.Since(start))
+		addPhaseSpans(p.trace, "solve", p.flightRec, rec.Flight, p.trace.Since(start))
 		p.trace.Span("commit", solveEnd, time.Now())
 		rec.Trace = wireTrace(p.trace)
 	}
@@ -297,14 +304,15 @@ func (s *Server) runSolve(ctx context.Context, solver *nearclique.Solver, p solv
 	}
 }
 
-// addPhaseSpans derives per-phase sub-spans ("solve/<phase>") from the
-// flight sample's wall-stamped phase events. A phase event is recorded at
+// addPhaseSpans derives per-phase sub-spans ("<prefix>/<phase>") from the
+// flight sample's wall-stamped phase events; prefix is the enclosing
+// span's name ("solve" or "count"). A phase event is recorded at
 // phase end, so phase k spans from the previous phase's end (the solve
 // start for the first) to its own event timestamp; event offsets are
 // rebased from the recorder's epoch onto the trace's. A ring that
 // dropped or truncated events yields a correspondingly partial timeline
 // — observation degrades, never lies.
-func addPhaseSpans(tr *obs.Trace, rec *flight.Recorder, sample *report.FlightSample, solveStartNS int64) {
+func addPhaseSpans(tr *obs.Trace, prefix string, rec *flight.Recorder, sample *report.FlightSample, solveStartNS int64) {
 	if tr == nil || rec == nil || sample == nil {
 		return
 	}
@@ -315,7 +323,7 @@ func addPhaseSpans(tr *obs.Trace, rec *flight.Recorder, sample *report.FlightSam
 			continue
 		}
 		end := base + ev.WallNS
-		tr.Add("solve/"+ev.Phase, prev, end-prev)
+		tr.Add(prefix+"/"+ev.Phase, prev, end-prev)
 		prev = end
 	}
 }
@@ -349,18 +357,19 @@ func (s *Server) safeSolve(ctx context.Context, solver *nearclique.Solver, p sol
 	return s.runSolve(ctx, solver, p, ent)
 }
 
-// admitAndSolve pushes one solve through admission control and waits for
-// it. Requests the cost model reliably prices under CheapSolveNS take
-// the fast path: they run inline on this goroutine (behind a bounded
-// semaphore) instead of waiting behind expensive queued work — priced
-// admission's payoff. Everything else queues on the worker pool. The
-// deadline clock starts here — before the queue — so backpressure counts
-// against the request's budget and a queued request whose client gave up
-// costs at most one ctx.Err check when it reaches a worker.
-func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p solveParams, ent *entry, feat costmodel.Features) (outcome, error) {
-	if p.timeout > 0 {
+// admitRun pushes one priced job through admission control and waits for
+// it — the shared admission path under /v1/solve and /v1/count. Requests
+// the cost model reliably prices under CheapSolveNS take the fast path:
+// they run inline on this goroutine (behind a bounded semaphore) instead
+// of waiting behind expensive queued work — priced admission's payoff.
+// Everything else queues on the worker pool. The deadline clock starts
+// here — before the queue — so backpressure counts against the request's
+// budget and a queued request whose client gave up costs at most one
+// ctx.Err check when it reaches a worker.
+func (s *Server) admitRun(ctx context.Context, timeout time.Duration, tr *obs.Trace, feat costmodel.Features, run func(context.Context) outcome) (outcome, error) {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	submitted := time.Now()
@@ -368,20 +377,27 @@ func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p
 		// The fast path's wait is ~0 by construction; observing it keeps
 		// the wait histogram an honest distribution over all accepted
 		// jobs, not just the queued subset.
-		s.observeWait(p.trace, submitted)
+		s.observeWait(tr, submitted)
 		start := time.Now()
-		out := s.safeSolve(ctx, solver, p, ent)
+		out := run(ctx)
 		s.admit.endBypass(time.Since(start))
 		return out, nil
 	}
 	done := make(chan outcome, 1)
 	if err := s.admit.submit(func() {
-		s.observeWait(p.trace, submitted)
-		done <- s.safeSolve(ctx, solver, p, ent)
+		s.observeWait(tr, submitted)
+		done <- run(ctx)
 	}); err != nil {
 		return outcome{}, err
 	}
 	return <-done, nil
+}
+
+// admitAndSolve is admitRun specialized to the solve path.
+func (s *Server) admitAndSolve(ctx context.Context, solver *nearclique.Solver, p solveParams, ent *entry, feat costmodel.Features) (outcome, error) {
+	return s.admitRun(ctx, p.timeout, p.trace, feat, func(ctx context.Context) outcome {
+		return s.safeSolve(ctx, solver, p, ent)
+	})
 }
 
 // observeWait records the admission wait — submit to execution start — in

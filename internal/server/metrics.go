@@ -27,6 +27,7 @@ type serverMetrics struct {
 	// Per-endpoint request latency, handler entry to response written.
 	solve *obs.Histogram
 	batch *obs.Histogram
+	count *obs.Histogram
 
 	// wait is time from admission submit to job start (fast-path jobs
 	// observe their ~0 wait honestly); exec is executed-job wall time —
@@ -49,6 +50,8 @@ func newServerMetrics(disabled bool) *serverMetrics {
 	m.solve = m.reg.NewHistogram("nearclique_request_seconds", `endpoint="solve"`,
 		"request latency by endpoint, handler entry to response written")
 	m.batch = m.reg.NewHistogram("nearclique_request_seconds", `endpoint="batch"`,
+		"request latency by endpoint, handler entry to response written")
+	m.count = m.reg.NewHistogram("nearclique_request_seconds", `endpoint="count"`,
 		"request latency by endpoint, handler entry to response written")
 	m.wait = m.reg.NewHistogram("nearclique_admission_wait_seconds", "",
 		"time accepted jobs spent between admission and execution start")
@@ -107,13 +110,15 @@ func (m *serverMetrics) endpointHist(endpoint string) *obs.Histogram {
 		return m.solve
 	case "batch":
 		return m.batch
+	case "count":
+		return m.count
 	}
 	return nil
 }
 
 // latencySection builds the /statz latency section from the same
 // histograms /metricsz exposes. Endpoints with no traffic are omitted;
-// order is fixed (solve, batch, job_exec) so the JSON is stable.
+// order is fixed (solve, batch, count, job_exec) so the JSON is stable.
 func (m *serverMetrics) latencySection() []report.EndpointLatency {
 	var out []report.EndpointLatency
 	add := func(name string, h *obs.Histogram) {
@@ -133,6 +138,7 @@ func (m *serverMetrics) latencySection() []report.EndpointLatency {
 	}
 	add("solve", m.solve)
 	add("batch", m.batch)
+	add("count", m.count)
 	add("job_exec", m.exec)
 	return out
 }

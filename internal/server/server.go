@@ -190,6 +190,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphsUnload)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/count", s.handleCount)
 	return s
 }
 

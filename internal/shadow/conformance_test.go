@@ -1,0 +1,122 @@
+package shadow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"nearclique/internal/graph"
+)
+
+// TestConformanceAgainstExactEnumeration is the ISSUE-10 acceptance
+// suite: on a grid of small graphs (k ≤ 5, n ≤ 200) the sampled
+// estimates must land within the reported error bound of the exact
+// counts, and be bit-identical across GOMAXPROCS-style parallelism and
+// sequential vs. batched sampling. Everything is seeded, so this test
+// is deterministic: a failure is a real estimator or determinism bug,
+// never flake.
+func TestConformanceAgainstExactEnumeration(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-60-0.2", gnp(60, 0.2, 7)},
+		{"gnp-120-0.1", gnp(120, 0.1, 8)},
+		{"gnp-200-0.08", gnp(200, 0.08, 9)},
+		{"planted-100-k9", planted(100, 9, 10)},
+		{"complete-18", complete(18)},
+		{"sparse-pairs", graph.FromEdges(50, [][2]int{{0, 1}, {2, 3}, {3, 4}, {4, 2}})},
+	}
+	for _, tc := range graphs {
+		for k := 3; k <= 5; k++ {
+			for _, eps := range []float64{0, 0.25} {
+				t.Run(fmt.Sprintf("%s/k%d/eps%v", tc.name, k, eps), func(t *testing.T) {
+					exactC, exactN, err := CountExact(tc.g, k, eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := Options{K: k, Epsilon: eps, Samples: 30000, Confidence: 0.999, Seed: 17}
+					res, err := Count(context.Background(), tc.g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := withinBound(res.Cliques, exactC, res.CliquesErrBound); err != nil {
+						t.Errorf("clique estimate: %v", err)
+					}
+					if err := withinBound(res.NearCliques, exactN, res.NearErrBound); err != nil {
+						t.Errorf("near estimate: %v", err)
+					}
+
+					// Bit-reproducibility: one worker vs. four, and a
+					// ragged worker count that splits chunks differently.
+					for _, par := range []int{1, 3, 4} {
+						o2 := opts
+						o2.Parallelism = par
+						r2, err := Count(context.Background(), tc.g, o2)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if *r2 != *res {
+							t.Errorf("parallelism %d changed the result:\n  %+v\nvs %+v", par, r2, res)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func withinBound(est, exact, bound float64) error {
+	if math.IsNaN(est) || math.IsInf(est, 0) {
+		return fmt.Errorf("estimate %v is not finite", est)
+	}
+	if diff := math.Abs(est - exact); diff > bound+1e-9 {
+		return fmt.Errorf("|%v − %v| = %v exceeds bound %v", est, exact, diff, bound)
+	}
+	return nil
+}
+
+// TestNearReducesToCliquesAtZeroEps pins the ε = 0 identity the server
+// fast-path relies on: no second shadow, near == clique bit for bit.
+func TestNearReducesToCliquesAtZeroEps(t *testing.T) {
+	g := gnp(80, 0.15, 21)
+	res, err := Count(context.Background(), g, Options{K: 4, Samples: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NearCliques != res.Cliques || res.NearErrBound != res.CliquesErrBound {
+		t.Fatalf("eps=0: near (%v ± %v) != cliques (%v ± %v)",
+			res.NearCliques, res.NearErrBound, res.Cliques, res.CliquesErrBound)
+	}
+}
+
+// TestSeedChangesEstimateButNotExpectation sanity-checks that distinct
+// seeds draw distinct sample paths (the streams are really keyed) while
+// both stay inside their bounds.
+func TestSeedChangesEstimateButNotExpectation(t *testing.T) {
+	g := gnp(100, 0.12, 23)
+	exactC, _, err := CountExact(g, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactC == 0 {
+		t.Skip("generator produced no 4-cliques; widen p")
+	}
+	a, err := Count(context.Background(), g, Options{K: 4, Samples: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Count(context.Background(), g, Options{K: 4, Samples: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CliqueHits == b.CliqueHits {
+		t.Log("two seeds produced identical hit counts (possible but unlikely); not failing")
+	}
+	for _, r := range []*Result{a, b} {
+		if err := withinBound(r.Cliques, exactC, r.CliquesErrBound); err != nil {
+			t.Errorf("seed run: %v", err)
+		}
+	}
+}

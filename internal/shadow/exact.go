@@ -1,0 +1,107 @@
+package shadow
+
+import (
+	"fmt"
+	"math"
+
+	"nearclique/internal/graph"
+)
+
+// CountExact enumerates the k-clique and anchored (k,ε)-near-clique
+// counts by brute force over the degeneracy DAG — the conformance
+// oracle for the sampling estimator. Exponential in k; meant for the
+// small-graph suite (k ≤ 7, n ≤ a few hundred), not production.
+//
+// The near count uses the same 1/d(S) identity the estimator does, in
+// the exact direction: summing 1/d(S) over every ((k−1)-clique T,
+// near extension v) pair hits each anchored near-clique S exactly d(S)
+// times with weight 1/d(S), so the total is the integer count (the
+// return value is rounded to absorb float dust).
+func CountExact(g *graph.Graph, k int, eps float64) (cliques, near float64, err error) {
+	if k < 2 || k > MaxK {
+		return 0, 0, fmt.Errorf("shadow: clique size %d out of range [2, %d]", k, MaxK)
+	}
+	if eps < 0 || eps >= 1 {
+		return 0, 0, fmt.Errorf("shadow: epsilon %v out of range [0, 1)", eps)
+	}
+	maxMiss := maxMissFor(k, eps)
+	if k == 2 {
+		cliques = float64(g.M())
+		return cliques, cliques, nil
+	}
+
+	n := g.N()
+	count := 0.0
+	forEachClique(g, k, func([]int32) { count++ })
+	cliques = count
+
+	if maxMiss == 0 {
+		return cliques, cliques, nil
+	}
+	sum := 0.0
+	km1 := k - 1
+	forEachClique(g, km1, func(t []int32) {
+		for v := 0; v < n; v++ {
+			inT := false
+			cnt := 0
+			for _, u := range t {
+				if int(u) == v {
+					inT = true
+					break
+				}
+				if g.HasEdge(v, int(u)) {
+					cnt++
+				}
+			}
+			if inT || km1-cnt > maxMiss {
+				continue
+			}
+			switch cnt {
+			case km1:
+				sum += 1 / float64(k)
+			case km1 - 1:
+				sum += 0.5
+			default:
+				sum++
+			}
+		}
+	})
+	return cliques, math.Round(sum), nil
+}
+
+// forEachClique invokes fn for every j-clique of g (j ≥ 1), vertices in
+// ascending index order, so each clique is visited exactly once (the
+// ascending sequence is its canonical form). The callback's slice is
+// reused; copy it to retain.
+func forEachClique(g *graph.Graph, j int, fn func([]int32)) {
+	n := g.N()
+	if n == 0 || j < 1 {
+		return
+	}
+	cur := make([]int32, 0, j)
+	var extend func(cand []int32)
+	extend = func(cand []int32) {
+		for i, v := range cand {
+			cur = append(cur, v)
+			if len(cur) == j {
+				fn(cur)
+			} else {
+				// Narrow to later candidates adjacent to v: cand already
+				// holds only common neighbors of cur's earlier members.
+				var nxt []int32
+				for _, w := range cand[i+1:] {
+					if g.HasEdge(int(v), int(w)) {
+						nxt = append(nxt, w)
+					}
+				}
+				extend(nxt)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	all := make([]int32, n)
+	for v := range all {
+		all[v] = int32(v)
+	}
+	extend(all)
+}

@@ -1,0 +1,51 @@
+package shadow
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"nearclique/internal/graph"
+)
+
+// FuzzShadow feeds arbitrary byte strings through edge-list decoding
+// into Count: the engine must never panic and never emit a non-finite
+// or negative estimate, whatever the CSR shape — the CI fuzz job's
+// never-panic contract for the counting path.
+func FuzzShadow(f *testing.F) {
+	f.Add([]byte{}, uint8(3), uint8(0))
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, uint8(3), uint8(64))
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3}, uint8(4), uint8(128))
+	f.Add([]byte{9, 9, 1, 1, 0, 255}, uint8(5), uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, kb, epsb uint8) {
+		const n = 48
+		var edges [][2]int
+		for i := 0; i+1 < len(data) && i < 4096; i += 2 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		k := 2 + int(kb)%5           // 2..6
+		eps := float64(epsb) / 256.0 // [0, 1)
+		res, err := Count(context.Background(), g, Options{
+			K: k, Epsilon: eps, Samples: 128, Seed: 1, MaxLeafInts: 1 << 20,
+		})
+		if err != nil {
+			return // budget/validation errors are fine; panics are not
+		}
+		for name, v := range map[string]float64{
+			"cliques": res.Cliques, "near": res.NearCliques,
+			"cliques_err": res.CliquesErrBound, "near_err": res.NearErrBound,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s = %v is not a finite non-negative estimate", name, v)
+			}
+		}
+		if res.NearCliques+res.NearErrBound+1e-9 < res.Cliques-res.CliquesErrBound {
+			t.Fatalf("near interval [%v±%v] entirely below clique interval [%v±%v]",
+				res.NearCliques, res.NearErrBound, res.Cliques, res.CliquesErrBound)
+		}
+	})
+}

@@ -1,0 +1,486 @@
+package shadow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/flight"
+	"nearclique/internal/graph"
+)
+
+// MaxK caps the clique size: beyond it binomial weights lose integer
+// precision and the shadow blows up combinatorially anyway.
+const MaxK = 32
+
+// Options configures Count and Sample. The zero value is not usable;
+// go through nearclique.WithCliqueSize/WithSamples/WithConfidence or
+// fill K and accept the defaults documented per field.
+type Options struct {
+	// K is the clique size to count (required, 2 ≤ K ≤ MaxK).
+	K int
+	// Epsilon is the near-clique slack: a k-set is an anchored
+	// (k,ε)-near-clique when it misses at most ⌊ε·C(k,2)⌋ edges and
+	// contains at least one (k−1)-clique. 0 counts exact cliques only.
+	Epsilon float64
+	// Samples is the number of estimator draws (default 4096).
+	Samples int
+	// Confidence is the coverage 1−δ of the reported error bounds
+	// (default 0.99).
+	Confidence float64
+	// Seed keys every counter-based RNG stream; same seed ⇒ bit-identical
+	// estimates at any parallelism.
+	Seed int64
+	// Parallelism bounds sampling workers (0 = GOMAXPROCS). The result
+	// does not depend on it.
+	Parallelism int
+	// MaxLeafInts bounds the shadow leaf arena (0 = DefaultMaxLeafInts).
+	MaxLeafInts int
+	// Flight, when non-nil, receives phase events for shadow build and
+	// sampling (phases "shadow-build", "shadow-sample").
+	Flight *flight.Recorder
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	v := *o
+	if v.K < 2 || v.K > MaxK {
+		return v, fmt.Errorf("shadow: clique size %d out of range [2, %d]", v.K, MaxK)
+	}
+	if v.Epsilon < 0 || v.Epsilon >= 1 {
+		return v, fmt.Errorf("shadow: epsilon %v out of range [0, 1)", v.Epsilon)
+	}
+	if v.Samples == 0 {
+		v.Samples = 4096
+	}
+	if v.Samples < 1 {
+		return v, fmt.Errorf("shadow: samples %d < 1", v.Samples)
+	}
+	if v.Confidence == 0 {
+		v.Confidence = 0.99
+	}
+	if v.Confidence <= 0 || v.Confidence >= 1 {
+		return v, fmt.Errorf("shadow: confidence %v out of range (0, 1)", v.Confidence)
+	}
+	if v.Parallelism <= 0 {
+		v.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return v, nil
+}
+
+// Result is a completed count. Estimates are unbiased; the error bounds
+// are Hoeffding at the configured confidence — exact for Cliques (the
+// per-sample statistic is an indicator), empirical-range for
+// NearCliques (see DESIGN.md §15 for the caveat). Exact is set when the
+// counts required no sampling (k = 2, or an empty shadow).
+type Result struct {
+	K          int     `json:"k"`
+	Epsilon    float64 `json:"epsilon"`
+	Samples    int     `json:"samples"`
+	Confidence float64 `json:"confidence"`
+
+	Cliques         float64 `json:"cliques"`
+	CliquesErrBound float64 `json:"cliques_err_bound"`
+	CliqueHits      int64   `json:"clique_hits"`
+
+	NearCliques  float64 `json:"near_cliques"`
+	NearErrBound float64 `json:"near_err_bound"`
+	NearHits     int64   `json:"near_hits"`
+
+	CliqueLeaves int     `json:"clique_leaves"`
+	CliqueWeight float64 `json:"clique_weight"`
+	NearLeaves   int     `json:"near_leaves"`
+	NearWeight   float64 `json:"near_weight"`
+
+	Exact bool `json:"exact"`
+}
+
+// maxMissFor returns ⌊ε·C(k,2)⌋, the missing-edge budget of an anchored
+// (k,ε)-near-clique. The 1e-9 nudge keeps products like 0.7·10 from
+// flooring one short of the rational value.
+func maxMissFor(k int, eps float64) int {
+	return int(math.Floor(eps*binom(k, 2) + 1e-9))
+}
+
+// hoeffding returns the half-width t with P(|mean−μ| ≥ t) ≤ δ for s
+// iid samples in [0,1]: sqrt(ln(2/δ) / 2s).
+func hoeffding(s int, confidence float64) float64 {
+	delta := 1 - confidence
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(s)))
+}
+
+// Count estimates the number of k-cliques and anchored (k,ε)-near-cliques
+// of g. The clique estimate samples a Turán shadow built at k; the near
+// estimate (when ε > 0) samples a second shadow built at k−1, drawing
+// uniform (k−1)-cliques and summing 1/d(S) over their near one-vertex
+// extensions S, where d(S) is the number of (k−1)-cliques inside S — the
+// weighting that counts each near-clique exactly once however many
+// anchors it contains.
+func Count(ctx context.Context, g *graph.Graph, o Options) (*Result, error) {
+	opt, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{K: opt.K, Epsilon: opt.Epsilon, Samples: opt.Samples, Confidence: opt.Confidence}
+	maxMiss := maxMissFor(opt.K, opt.Epsilon)
+
+	if opt.K == 2 {
+		// Every edge is a 2-clique, and ⌊ε·C(2,2)⌋ = 0 for any ε < 1, so
+		// the near count coincides: both are exactly m.
+		res.Cliques = float64(g.M())
+		res.NearCliques = res.Cliques
+		res.Exact = true
+		return res, nil
+	}
+
+	d, err := buildTimed(ctx, g, opt.K, &opt)
+	if err != nil {
+		return nil, err
+	}
+	res.CliqueLeaves = len(d.leaves)
+	res.CliqueWeight = d.weight
+	if d.weight == 0 {
+		res.Exact = maxMiss == 0 // near count still needs its own shadow
+	} else {
+		xs, err := sampleAll(ctx, d, &opt, passClique, maxMiss)
+		if err != nil {
+			return nil, err
+		}
+		hits := int64(0)
+		for _, x := range xs {
+			if x != 0 {
+				hits++
+			}
+		}
+		res.CliqueHits = hits
+		res.Cliques = d.weight * float64(hits) / float64(opt.Samples)
+		res.CliquesErrBound = d.weight * hoeffding(opt.Samples, opt.Confidence)
+	}
+
+	if maxMiss == 0 {
+		// ε-slack admits no missing edges: near ≡ clique.
+		res.NearCliques = res.Cliques
+		res.NearErrBound = res.CliquesErrBound
+		res.NearHits = res.CliqueHits
+		res.NearLeaves = res.CliqueLeaves
+		res.NearWeight = res.CliqueWeight
+		return res, nil
+	}
+
+	nd, err := buildTimed(ctx, g, opt.K-1, &opt)
+	if err != nil {
+		return nil, err
+	}
+	res.NearLeaves = len(nd.leaves)
+	res.NearWeight = nd.weight
+	if nd.weight == 0 {
+		// No (k−1)-cliques at all ⇒ nothing can be anchored.
+		res.Exact = res.CliqueWeight == 0
+		return res, nil
+	}
+	xs, err := sampleAll(ctx, nd, &opt, passNear, maxMiss)
+	if err != nil {
+		return nil, err
+	}
+	// Sequential index-order reduction: float addition is not
+	// associative, and this sum is part of the bit-reproducibility
+	// contract across GOMAXPROCS and batch shapes.
+	sum, maxX := 0.0, 0.0
+	hits := int64(0)
+	for _, x := range xs {
+		sum += x
+		if x > 0 {
+			hits++
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	res.NearHits = hits
+	res.NearCliques = nd.weight * sum / float64(opt.Samples)
+	res.NearErrBound = nd.weight * maxX * hoeffding(opt.Samples, opt.Confidence)
+	return res, nil
+}
+
+// Sample draws o.Samples times from the k-shadow and returns the draws
+// that landed on k-cliques, each sorted ascending — uniform over the
+// k-cliques of g, deterministic at fixed seed (the draws reuse the
+// clique-pass streams, so Sample sees exactly Count's coin flips).
+func Sample(ctx context.Context, g *graph.Graph, o Options) ([][]int, error) {
+	opt, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opt.K == 2 {
+		return nil, fmt.Errorf("shadow: sampling needs k ≥ 3 (2-cliques are just edges)")
+	}
+	d, err := buildTimed(ctx, g, opt.K, &opt)
+	if err != nil {
+		return nil, err
+	}
+	if d.weight == 0 {
+		return nil, nil
+	}
+	s := newSampler(d)
+	var out [][]int
+	for i := 0; i < opt.Samples; i++ {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		lf, sub := s.draw(opt.Seed, passClique, i)
+		if !s.isClique(sub) {
+			continue
+		}
+		clique := make([]int, 0, d.t)
+		pre := d.pre[lf.preOff : lf.preOff+int32(d.t)-lf.ell]
+		for _, v := range pre {
+			clique = append(clique, int(v))
+		}
+		for _, v := range sub {
+			clique = append(clique, int(v))
+		}
+		sort.Ints(clique)
+		out = append(out, clique)
+	}
+	return out, nil
+}
+
+// buildTimed wraps build with the flight-recorder phase event. No wall
+// clock: the phase carries structural counters (leaves, refinements,
+// arena bytes); wall time belongs to the layers above (nclint
+// transcriptScope forbids clock reads here).
+func buildTimed(ctx context.Context, g *graph.Graph, t int, opt *Options) (*dag, error) {
+	d, err := build(ctx, g, t, opt.MaxLeafInts)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Flight != nil {
+		ord := opt.Flight.BeginPhase("shadow-build")
+		opt.Flight.Record(flight.Event{
+			Kind:     flight.KindPhase,
+			Phase:    ord,
+			Round:    int64(t),
+			Frontier: int32(len(d.leaves)),
+			Frames:   int64(d.refined),
+			Bytes:    4 * int64(len(d.sets)+len(d.pre)),
+		})
+	}
+	return d, nil
+}
+
+// Stream passes separate the clique and near estimators' randomness so
+// the two shadows never share coins even at equal sample indices.
+const (
+	passClique = 1
+	passNear   = 2
+)
+
+// sampler is per-worker draw scratch over one dag.
+type sampler struct {
+	d   *dag
+	idx []int32 // Fisher–Yates scratch, sized to the largest leaf
+	// near-extension scratch, allocated lazily (n-sized):
+	cnt     []int32 // neighbors-in-T count per vertex
+	inT     []bool
+	touched []int32
+}
+
+func newSampler(d *dag) *sampler {
+	maxLen := int32(0)
+	for _, lf := range d.leaves {
+		if lf.setLen > maxLen {
+			maxLen = lf.setLen
+		}
+	}
+	return &sampler{d: d, idx: make([]int32, maxLen)}
+}
+
+// draw picks a leaf with probability proportional to its weight and a
+// uniform ℓ-subset of its set, using the counter stream keyed by
+// (seed, pass, sample index) — addressable coins, no shared state.
+func (s *sampler) draw(seed int64, pass, i int) (leaf, []int32) {
+	rng := congest.NewNodeRand(seed, int64(pass)<<40|int64(i))
+	li := sort.SearchFloat64s(s.d.cum, rng.Float64()*s.d.weight)
+	if li >= len(s.d.leaves) {
+		li = len(s.d.leaves) - 1 // Float64 can hit 1.0·weight exactly
+	}
+	lf := s.d.leaves[li]
+	set := s.d.sets[lf.setOff : lf.setOff+lf.setLen]
+	ids := s.idx[:len(set)]
+	for j := range ids {
+		ids[j] = int32(j)
+	}
+	ell := int(lf.ell)
+	for j := 0; j < ell; j++ {
+		k := j + rng.Intn(len(ids)-j)
+		ids[j], ids[k] = ids[k], ids[j]
+	}
+	sub := make([]int32, ell)
+	for j := 0; j < ell; j++ {
+		sub[j] = set[ids[j]]
+	}
+	return lf, sub
+}
+
+// isClique tests all pairs of the drawn subset. Prefix–subset and
+// prefix–prefix edges hold by shadow construction, so the subset's own
+// pairs are the whole test.
+func (s *sampler) isClique(sub []int32) bool {
+	for a := 0; a < len(sub); a++ {
+		for b := a + 1; b < len(sub); b++ {
+			if !s.d.g.HasEdge(int(sub[a]), int(sub[b])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nearX computes the near-pass statistic for one uniform (k−1)-clique T
+// (prefix ∪ subset): Σ over near one-vertex extensions S = T ∪ {v} of
+// 1/d(S). d(S) — the number of (k−1)-cliques inside S — follows from
+// cnt = |Γ(v) ∩ T| alone: cnt = |T| makes S a k-clique (d = k), cnt =
+// |T|−1 leaves exactly one second anchor (d = 2), anything lower leaves
+// T alone (d = 1).
+func (s *sampler) nearX(lf leaf, sub []int32, maxMiss int) float64 {
+	d := s.d
+	n := d.g.N()
+	if s.cnt == nil {
+		s.cnt = make([]int32, n)
+		s.inT = make([]bool, n)
+	}
+	km1 := d.t // the near dag is built at t = k−1
+	pre := d.pre[lf.preOff : lf.preOff+int32(km1)-lf.ell]
+
+	mark := func(v int32) { s.inT[v] = true }
+	for _, v := range pre {
+		mark(v)
+	}
+	for _, v := range sub {
+		mark(v)
+	}
+	count := func(v int32) {
+		for _, w := range d.g.Neighbors(int(v)) {
+			if s.inT[w] {
+				continue
+			}
+			if s.cnt[w] == 0 {
+				s.touched = append(s.touched, w)
+			}
+			s.cnt[w]++
+		}
+	}
+	for _, v := range pre {
+		count(v)
+	}
+	for _, v := range sub {
+		count(v)
+	}
+
+	x := 0.0
+	for _, v := range s.touched {
+		cnt := int(s.cnt[v])
+		if km1-cnt > maxMiss {
+			continue
+		}
+		switch cnt {
+		case km1:
+			x += 1 / float64(km1+1)
+		case km1 - 1:
+			x += 0.5
+		default:
+			x++
+		}
+	}
+	if km1 <= maxMiss {
+		// Vertices with no edge into T still extend it within budget;
+		// they all have d = 1, so they contribute arithmetically.
+		x += float64(n - km1 - len(s.touched))
+	}
+	for _, v := range s.touched {
+		s.cnt[v] = 0
+	}
+	s.touched = s.touched[:0]
+	for _, v := range pre {
+		s.inT[v] = false
+	}
+	for _, v := range sub {
+		s.inT[v] = false
+	}
+	return x
+}
+
+// sampleAll runs the estimator for every sample index, in parallel
+// workers claiming disjoint chunks, each result stored at its index —
+// the caller reduces sequentially, so the output is a pure function of
+// (dag, seed, pass), independent of worker count and chunking.
+func sampleAll(ctx context.Context, d *dag, opt *Options, pass, maxMiss int) ([]float64, error) {
+	xs := make([]float64, opt.Samples)
+	hits := int64(0) // flight-only aggregate; order-independent
+	const chunk = 64
+	var next atomic.Int64
+	workers := opt.Parallelism
+	if workers > opt.Samples {
+		workers = opt.Samples
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := newSampler(d)
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= opt.Samples {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				hi := lo + chunk
+				if hi > opt.Samples {
+					hi = opt.Samples
+				}
+				h := int64(0)
+				for i := lo; i < hi; i++ {
+					lf, sub := s.draw(opt.Seed, pass, i)
+					if !s.isClique(sub) {
+						continue
+					}
+					h++
+					if pass == passNear {
+						xs[i] = s.nearX(lf, sub, maxMiss)
+					} else {
+						xs[i] = 1
+					}
+				}
+				atomic.AddInt64(&hits, h)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Flight != nil {
+		ord := opt.Flight.BeginPhase("shadow-sample")
+		opt.Flight.Record(flight.Event{
+			Kind:     flight.KindPhase,
+			Phase:    ord,
+			Round:    int64(d.t),
+			Frontier: int32(min(opt.Samples, 1<<31-1)),
+			Frames:   atomic.LoadInt64(&hits),
+		})
+	}
+	return xs, nil
+}

@@ -1,0 +1,355 @@
+// Package shadow implements the Turán-shadow counting engine (PEANUTS,
+// Jain & Seshadhri; PAPERS.md): provably accurate k-clique and
+// near-clique counting and uniform sampling on graphs far beyond what
+// CONGEST round simulation can touch.
+//
+// The construction refines a degeneracy-ordered DAG: the shadow starts as
+// the set of pairs (N⁺(v), k−1) over every vertex v — N⁺(v) the
+// later-neighbors of v in the degeneracy order — and a pair (S, ℓ) is
+// refined while ℓ ≥ 3 and the edge density of G[S] is below the Turán
+// threshold 1 − 1/(ℓ−1), by re-peeling G[S] into its own degeneracy
+// order and emitting (S ∩ N⁺_S(u), ℓ−1) for every u ∈ S. Leaves are
+// dense enough that Turán's theorem guarantees K_ℓ ⊆ G[S]; sampling an
+// ℓ-subset of a leaf chosen with probability proportional to C(|S|, ℓ)
+// and testing whether it is a clique yields an unbiased, concentrated
+// estimator of the global k-clique count. Every k-clique of G lies in
+// exactly one (leaf, prefix) pair, which is what makes the estimator a
+// partition argument rather than an inclusion-exclusion.
+//
+// Determinism contract (DESIGN.md §15): construction is sequential over
+// roots in index order with an explicit LIFO work-stack (no recursion,
+// no scheduling dependence), and sampling draws every coin from the
+// repo's counter-based RNG keyed by (seed, sample index) — so estimates
+// are bit-identical at a fixed seed across GOMAXPROCS and across
+// sequential vs. batched sampling. No wall-clock reads happen anywhere
+// in this package (nclint transcriptScope); callers time it.
+package shadow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"nearclique/internal/graph"
+)
+
+// DefaultMaxLeafInts bounds the persistent leaf arena (set + prefix
+// int32s) when Options.MaxLeafInts is zero: 1<<26 entries = 256 MiB,
+// far above anything the conformance grid needs but a hard stop before
+// a pathological graph swaps the host.
+const DefaultMaxLeafInts = 1 << 26
+
+// ErrBudget is wrapped by build errors when the shadow outgrows
+// MaxLeafInts; callers surface it as a capacity error, never a panic.
+var ErrBudget = errors.New("shadow: leaf arena budget exceeded")
+
+// leaf is one closed shadow node: set is sets[setOff:setOff+setLen]
+// (global vertex ids, ascending), the prefix — the clique every member
+// of set is adjacent to — is pre[preOff:preOff+t−ell] for build target
+// t, and the sampling weight is C(setLen, ell).
+type leaf struct {
+	setOff, setLen int32
+	preOff         int32
+	ell            int32
+}
+
+// dag is a built Turán shadow for cliques of size t.
+type dag struct {
+	g      *graph.Graph
+	t      int     // clique size the shadow was built for
+	sets   []int32 // concatenated leaf sets
+	pre    []int32 // concatenated leaf prefixes
+	leaves []leaf
+	cum    []float64 // cumulative weights, cum[i] = Σ w(leaves[..i])
+	weight float64   // total weight W = cum[len-1]
+
+	refined int // internal nodes expanded (stats / flight)
+}
+
+// workNode is a stack entry during refinement; set and prefix live in
+// the per-root scratch arenas and are truncated when the root drains.
+type workNode struct {
+	setOff, setLen int32
+	preOff, preLen int32
+	ell            int32
+}
+
+// builder carries the O(n) scratch shared across roots.
+type builder struct {
+	g      *graph.Graph
+	rank   []int32 // global degeneracy rank
+	local  []int32 // global id -> local index+1 within the current set, 0 = absent
+	stack  []workNode
+	wset   []int32 // work arena: candidate sets
+	wpre   []int32 // work arena: prefixes
+	d      *dag
+	budget int
+	pops   int
+}
+
+// build constructs the Turán shadow for t-cliques (t ≥ 2). ctx is
+// checked every few hundred stack pops so a canceled request abandons a
+// half-built shadow promptly.
+func build(ctx context.Context, g *graph.Graph, t int, budget int) (*dag, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("shadow: clique size %d < 2", t)
+	}
+	if budget <= 0 {
+		budget = DefaultMaxLeafInts
+	}
+	d := &dag{g: g, t: t}
+	n := g.N()
+	if n == 0 {
+		d.cum = nil
+		return d, nil
+	}
+	order := g.DegeneracyOrder()
+	b := &builder{
+		g:      g,
+		rank:   make([]int32, n),
+		local:  make([]int32, n),
+		d:      d,
+		budget: budget,
+	}
+	for i, v := range order {
+		b.rank[v] = int32(i)
+	}
+
+	// Roots in vertex-index order (not peel order): determinism wants a
+	// canonical sequence, and index order keeps leaf ids stable under
+	// any change to peel tie-breaking.
+	for v := 0; v < n; v++ {
+		b.wset = b.wset[:0]
+		b.wpre = b.wpre[:0]
+		b.stack = b.stack[:0]
+		for _, w := range g.Neighbors(v) {
+			if b.rank[w] > b.rank[v] {
+				b.wset = append(b.wset, w)
+			}
+		}
+		if len(b.wset) < t-1 {
+			continue // C(|S|, t−1) = 0: contributes nothing
+		}
+		b.wpre = append(b.wpre, int32(v))
+		b.stack = append(b.stack, workNode{
+			setOff: 0, setLen: int32(len(b.wset)),
+			preOff: 0, preLen: 1,
+			ell: int32(t - 1),
+		})
+		if err := b.drain(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	d.cum = make([]float64, len(d.leaves))
+	total := 0.0
+	for i, lf := range d.leaves {
+		total += binom(int(lf.setLen), int(lf.ell))
+		d.cum[i] = total
+	}
+	d.weight = total
+	return d, nil
+}
+
+// drain processes the work-stack until empty (one root's subtree).
+func (b *builder) drain(ctx context.Context) error {
+	for len(b.stack) > 0 {
+		b.pops++
+		if b.pops&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		nd := b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+		set := b.wset[nd.setOff : nd.setOff+nd.setLen]
+		sz := len(set)
+
+		// Closed leaf when small ℓ or dense enough for Turán's theorem.
+		if int(nd.ell) <= 2 || denseEnough(b, set, int(nd.ell)) {
+			if err := b.emit(nd); err != nil {
+				return err
+			}
+			continue
+		}
+		b.d.refined++
+
+		// Induced subgraph of set: local CSR over local indices
+		// 0..sz-1, in ascending global-id order (set is sorted).
+		for i, v := range set {
+			b.local[v] = int32(i) + 1
+		}
+		deg := make([]int32, sz)
+		for i, v := range set {
+			for _, w := range b.g.Neighbors(int(v)) {
+				if b.local[w] != 0 {
+					deg[i]++
+				}
+			}
+		}
+		off := make([]int32, sz+1)
+		for i := 0; i < sz; i++ {
+			off[i+1] = off[i] + deg[i]
+		}
+		adj := make([]int32, off[sz])
+		fill := make([]int32, sz)
+		for i, v := range set {
+			for _, w := range b.g.Neighbors(int(v)) {
+				if li := b.local[w]; li != 0 {
+					adj[off[i]+fill[i]] = li - 1
+					fill[i]++
+				}
+			}
+		}
+		lrank := peelLocal(sz, off, adj)
+		for _, v := range set {
+			b.local[v] = 0
+		}
+
+		// Children: for every u ∈ set, the later-neighbors of u in
+		// G[set]'s own degeneracy order, at ℓ−1, prefix+[u]. Pushed in
+		// index order — the LIFO pop order is then deterministic too.
+		for i := 0; i < sz; i++ {
+			childOff := int32(len(b.wset))
+			for j := off[i]; j < off[i+1]; j++ {
+				if w := adj[j]; lrank[w] > lrank[i] {
+					b.wset = append(b.wset, set[w])
+				}
+			}
+			childLen := int32(len(b.wset)) - childOff
+			if int(childLen) < int(nd.ell)-1 {
+				b.wset = b.wset[:childOff] // weight 0: drop
+				continue
+			}
+			preOff := int32(len(b.wpre))
+			b.wpre = append(b.wpre, b.wpre[nd.preOff:nd.preOff+nd.preLen]...)
+			b.wpre = append(b.wpre, set[i])
+			b.stack = append(b.stack, workNode{
+				setOff: childOff, setLen: childLen,
+				preOff: preOff, preLen: nd.preLen + 1,
+				ell: nd.ell - 1,
+			})
+		}
+	}
+	return nil
+}
+
+// denseEnough reports whether G[set] meets the Turán density threshold
+// 1 − 1/(ℓ−1), i.e. e(G[set]) ≥ (1 − 1/(ℓ−1))·C(|set|,2), using exact
+// integer arithmetic so the boundary never wobbles on float rounding.
+func denseEnough(b *builder, set []int32, ell int) bool {
+	sz := len(set)
+	if sz < 2 {
+		return true
+	}
+	for _, v := range set {
+		b.local[v] = 1
+	}
+	edges := 0
+	for _, v := range set {
+		for _, w := range b.g.Neighbors(int(v)) {
+			if b.local[w] != 0 {
+				edges++
+			}
+		}
+	}
+	for _, v := range set {
+		b.local[v] = 0
+	}
+	edges /= 2
+	// e ≥ (1 − 1/(ℓ−1))·sz(sz−1)/2  ⇔  2e(ℓ−1) ≥ (ℓ−2)·sz·(sz−1)
+	return 2*edges*(ell-1) >= (ell-2)*sz*(sz-1)
+}
+
+// emit persists a closed leaf into the dag's arenas.
+func (b *builder) emit(nd workNode) error {
+	need := len(b.d.sets) + int(nd.setLen) + len(b.d.pre) + int(nd.preLen)
+	if need > b.budget {
+		return fmt.Errorf("%w: %d int32s (limit %d); raise MaxLeafInts or lower k", ErrBudget, need, b.budget)
+	}
+	lf := leaf{
+		setOff: int32(len(b.d.sets)), setLen: nd.setLen,
+		preOff: int32(len(b.d.pre)),
+		ell:    nd.ell,
+	}
+	b.d.sets = append(b.d.sets, b.wset[nd.setOff:nd.setOff+nd.setLen]...)
+	b.d.pre = append(b.d.pre, b.wpre[nd.preOff:nd.preOff+nd.preLen]...)
+	b.d.leaves = append(b.d.leaves, lf)
+	return nil
+}
+
+// peelLocal computes degeneracy ranks for a local CSR (the
+// Batagelj–Zaveršnik peel of shadow.go's parent loop, specialized to
+// int32 scratch): rank[i] is node i's position in the peel order.
+func peelLocal(n int, off, adj []int32) []int32 {
+	core := make([]int32, n)
+	maxDeg := int32(0)
+	for i := 0; i < n; i++ {
+		core[i] = off[i+1] - off[i]
+		if core[i] > maxDeg {
+			maxDeg = core[i]
+		}
+	}
+	bin := make([]int32, maxDeg+2)
+	for i := 0; i < n; i++ {
+		bin[core[i]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	vert := make([]int32, n)
+	pos := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pos[i] = bin[core[i]]
+		vert[pos[i]] = int32(i)
+		bin[core[i]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for j := off[v]; j < off[v+1]; j++ {
+			u := adj[j]
+			if core[u] <= core[v] {
+				continue
+			}
+			du := core[u]
+			pu := pos[u]
+			pw := bin[du]
+			x := vert[pw]
+			if u != x {
+				vert[pu], vert[pw] = vert[pw], vert[pu]
+				pos[u], pos[x] = pw, pu
+			}
+			bin[du]++
+			core[u]--
+		}
+	}
+	rank := make([]int32, n)
+	for i, v := range vert {
+		rank[v] = int32(i)
+	}
+	return rank
+}
+
+// binom returns C(n, k) as a float64 (exact for the small k the engine
+// uses; k ≤ 2 and leaf sizes bounded by degeneracy keep it far below
+// 2^53 for any graph the budget admits).
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}

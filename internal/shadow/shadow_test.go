@@ -1,0 +1,301 @@
+package shadow
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"nearclique/internal/congest"
+	"nearclique/internal/graph"
+)
+
+// gnp builds a deterministic G(n, p) from the repo's counter RNG.
+func gnp(n int, p float64, seed int64) *graph.Graph {
+	rng := congest.NewNodeRand(seed, 0)
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// planted builds sparse noise with a planted clique on the first size nodes.
+func planted(n, size int, seed int64) *graph.Graph {
+	rng := congest.NewNodeRand(seed, 1)
+	var edges [][2]int
+	for u := 0; u < size; u++ {
+		for v := u + 1; v < size; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {5, 5, 1}, {5, 0, 1}, {4, 5, 0}, {10, 3, 120}, {0, 0, 1}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); got != c.want {
+			t.Errorf("binom(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestShadowWeightBoundsCliqueCount(t *testing.T) {
+	// The shadow's total weight upper-bounds the clique count (every
+	// k-clique sits in exactly one leaf, and a leaf of weight w holds at
+	// most w of them); on a complete graph every leaf is fully dense so
+	// the weight is exact.
+	g := complete(10)
+	for k := 3; k <= 5; k++ {
+		d, err := build(context.Background(), g, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := CountExact(g, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := binom(10, k); exact != want {
+			t.Fatalf("k=%d: exact = %v, want %v", k, exact, want)
+		}
+		if d.weight != exact {
+			t.Errorf("k=%d: complete-graph shadow weight %v != clique count %v", k, d.weight, exact)
+		}
+	}
+	spr := gnp(60, 0.2, 7)
+	for k := 3; k <= 5; k++ {
+		d, err := build(context.Background(), spr, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _, err := CountExact(spr, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.weight < exact {
+			t.Errorf("k=%d: shadow weight %v < clique count %v", k, d.weight, exact)
+		}
+	}
+}
+
+func TestCountExactMatchesBruteForce(t *testing.T) {
+	// Independently verify CountExact's 1/d identity by enumerating all
+	// k-subsets on tiny graphs: near-clique = misses ≤ ⌊ε·C(k,2)⌋ and
+	// contains at least one (k−1)-clique.
+	graphs := []*graph.Graph{
+		gnp(11, 0.45, 3), gnp(12, 0.3, 4), planted(12, 5, 5), complete(8),
+		graph.FromEdges(4, nil), graph.FromEdges(6, [][2]int{{0, 1}, {2, 3}, {4, 5}}),
+	}
+	for gi, g := range graphs {
+		for k := 3; k <= 5; k++ {
+			for _, eps := range []float64{0, 0.2, 0.34, 0.5} {
+				wantC, wantN := bruteForce(g, k, eps)
+				gotC, gotN, err := CountExact(g, k, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotC != wantC || gotN != wantN {
+					t.Errorf("graph %d k=%d eps=%v: CountExact = (%v, %v), brute force = (%v, %v)",
+						gi, k, eps, gotC, gotN, wantC, wantN)
+				}
+			}
+		}
+	}
+}
+
+// bruteForce enumerates every k-subset.
+func bruteForce(g *graph.Graph, k int, eps float64) (cliques, near float64) {
+	n := g.N()
+	maxMiss := maxMissFor(k, eps)
+	sub := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			miss := 0
+			for a := 0; a < k; a++ {
+				for b := a + 1; b < k; b++ {
+					if !g.HasEdge(sub[a], sub[b]) {
+						miss++
+					}
+				}
+			}
+			if miss == 0 {
+				cliques++
+			}
+			if miss > maxMiss {
+				return
+			}
+			// Anchored: some (k−1)-subset is a clique.
+			for drop := 0; drop < k; drop++ {
+				ok := true
+				for a := 0; a < k && ok; a++ {
+					for b := a + 1; b < k && ok; b++ {
+						if a != drop && b != drop && !g.HasEdge(sub[a], sub[b]) {
+							ok = false
+						}
+					}
+				}
+				if ok {
+					near++
+					return
+				}
+			}
+			return
+		}
+		for v := start; v < n; v++ {
+			sub[depth] = v
+			rec(v+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return cliques, near
+}
+
+func TestCountK2IsExact(t *testing.T) {
+	g := gnp(40, 0.2, 9)
+	res, err := Count(context.Background(), g, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Cliques != float64(g.M()) || res.NearCliques != float64(g.M()) {
+		t.Fatalf("k=2: got %+v, want exact m=%d", res, g.M())
+	}
+	// ⌊ε·C(2,2)⌋ = 0 for any ε < 1: slack never admits a missing edge at
+	// k = 2, so near stays exactly m.
+	res, err = Count(context.Background(), g, Options{K: 2, Epsilon: 0.9999, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NearCliques != float64(g.M()) {
+		t.Fatalf("k=2 slack: near = %v, want m = %d", res.NearCliques, g.M())
+	}
+}
+
+func TestTriangleFreeCounts(t *testing.T) {
+	g := graph.FromEdges(10, [][2]int{{0, 1}, {2, 3}}) // no triangles
+	res, err := Count(context.Background(), g, Options{K: 3, Epsilon: 0.4, Samples: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cliques != 0 {
+		t.Fatalf("triangle-free: cliques = %v, want 0", res.Cliques)
+	}
+	// The near shadow is built at k−1 = 2, whose weight is exactly m —
+	// every anchor is an edge. Here no edge has a ≤1-miss extension
+	// (both endpoints are degree-1), so the near estimate is 0 too.
+	if res.NearWeight != float64(g.M()) {
+		t.Fatalf("near shadow weight = %v, want m = %d", res.NearWeight, g.M())
+	}
+	if res.NearCliques != 0 {
+		t.Fatalf("near = %v, want 0", res.NearCliques)
+	}
+}
+
+func TestCountOptionValidation(t *testing.T) {
+	g := complete(5)
+	bad := []Options{
+		{K: 1}, {K: MaxK + 1}, {K: 3, Epsilon: -0.1}, {K: 3, Epsilon: 1},
+		{K: 3, Samples: -4}, {K: 3, Confidence: 1.5},
+	}
+	for i, o := range bad {
+		if _, err := Count(context.Background(), g, o); err == nil {
+			t.Errorf("case %d: Count(%+v) accepted invalid options", i, o)
+		}
+	}
+}
+
+func TestBuildBudgetError(t *testing.T) {
+	g := complete(30)
+	_, err := Count(context.Background(), g, Options{K: 5, Samples: 8, Seed: 1, MaxLeafInts: 4})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCountHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gnp(120, 0.3, 11)
+	if _, err := Count(ctx, g, Options{K: 4, Samples: 1 << 16, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSampleReturnsRealCliquesDeterministically(t *testing.T) {
+	g := planted(80, 8, 13)
+	opts := Options{K: 4, Samples: 512, Seed: 42}
+	a, err := Sample(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no cliques sampled from a graph with a planted K8")
+	}
+	for _, c := range a {
+		if len(c) != 4 {
+			t.Fatalf("sampled set %v has size %d, want 4", c, len(c))
+		}
+		for i := 0; i < len(c); i++ {
+			if i > 0 && c[i-1] >= c[i] {
+				t.Fatalf("sampled set %v not sorted ascending", c)
+			}
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					t.Fatalf("sampled set %v is not a clique: missing {%d,%d}", c, c[i], c[j])
+				}
+			}
+		}
+	}
+	b, err := Sample(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two identical Sample runs disagree: %d vs %d cliques", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("sample %d differs between runs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestHoeffdingHalfWidthShrinks(t *testing.T) {
+	if h1, h2 := hoeffding(100, 0.99), hoeffding(10000, 0.99); h2 >= h1 {
+		t.Fatalf("half-width did not shrink with samples: %v -> %v", h1, h2)
+	}
+	if !(hoeffding(100, 0.999) > hoeffding(100, 0.9)) {
+		t.Fatal("higher confidence must widen the bound")
+	}
+	if math.IsNaN(hoeffding(1, 0.5)) {
+		t.Fatal("NaN half-width")
+	}
+}

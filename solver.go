@@ -47,6 +47,14 @@ const (
 	// messages (zero Metrics), but it does emit per-wave flight round
 	// events.
 	EngineFrontier
+	// EngineShadow is the Turán-shadow counting engine (internal/shadow):
+	// degeneracy-ordered DAG refinement plus weighted sampling that
+	// estimates k-clique and near-clique counts with provable error
+	// bounds. It serves the Count and Sample APIs only — Solve and Search
+	// report one candidate per component, which is not what a counting
+	// query asks — and is bit-reproducible at fixed seed across any
+	// parallelism, like every other engine.
+	EngineShadow
 )
 
 func (e Engine) String() string {
@@ -63,6 +71,8 @@ func (e Engine) String() string {
 		return "async"
 	case EngineFrontier:
 		return "frontier"
+	case EngineShadow:
+		return "shadow"
 	}
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
@@ -83,8 +93,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineAsync, nil
 	case "frontier":
 		return EngineFrontier, nil
+	case "shadow":
+		return EngineShadow, nil
 	}
-	return EngineAuto, fmt.Errorf("nearclique: unknown engine %q (want auto|seq|sharded|legacy|async|frontier)", s)
+	return EngineAuto, fmt.Errorf("nearclique: unknown engine %q (want auto|seq|sharded|legacy|async|frontier|shadow)", s)
 }
 
 // config is the resolved Solver configuration. The embedded core options
@@ -98,6 +110,11 @@ type config struct {
 	searchMin   float64
 	searchMax   float64
 	refine      *refine.Spec
+
+	// Counting-path knobs (EngineShadow; see count.go).
+	cliqueSize int
+	samples    int
+	confidence float64
 }
 
 // Option configures a Solver at construction time.
@@ -106,7 +123,7 @@ type Option func(*config) error
 // WithEngine selects the execution engine (default EngineAuto).
 func WithEngine(e Engine) Option {
 	return func(c *config) error {
-		if e > EngineFrontier {
+		if e > EngineShadow {
 			return fmt.Errorf("nearclique: invalid engine %d", uint8(e))
 		}
 		c.engine = e
@@ -428,6 +445,8 @@ func (s *Solver) solve(ctx context.Context, g *Graph, opts Options) (*Result, er
 	case EngineFrontier:
 		opts.Async = false
 		res, err = core.FindFrontierContext(ctx, g, opts)
+	case EngineShadow:
+		return nil, errors.New("nearclique: engine=shadow serves Count/Sample, not Solve")
 	}
 	if err == nil && res != nil && s.cfg.refine != nil {
 		err = s.applyRefine(ctx, g, res, opts)
@@ -607,6 +626,8 @@ func (s *Solver) Search(ctx context.Context, g *Graph, rho float64) (float64, *R
 	var res *Result
 	var err error
 	switch s.cfg.engine {
+	case EngineShadow:
+		return 0, nil, errors.New("nearclique: engine=shadow serves Count/Sample, not Search")
 	case EngineAuto, EngineFrontier:
 		eps, res, err = core.SearchFrontierContext(ctx, g, so)
 	case EngineSequential:
